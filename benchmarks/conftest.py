@@ -1,0 +1,19 @@
+"""Shared benchmark utilities.
+
+Every benchmark regenerates one paper figure/table at reduced scale,
+asserts the paper's qualitative shape, and writes the rendered rows to
+``results/<name>.txt`` so the regenerated series persist.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+def save_report(name: str, text: str) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[saved to {path}]")

@@ -1,0 +1,77 @@
+"""Fig. 9 — autotuned tensor-program performance vs all baselines."""
+
+from repro.harness import fig9_tensor_ops, render_table, summarize_speedups
+
+from .conftest import save_report
+
+COLUMNS = [
+    "workload", "size", "prim_ms", "prim_e_ms", "prim_search_ms",
+    "simplepim_ms", "atim_ms", "cpu_ms",
+    "atim_speedup_vs_prim", "atim_speedup_vs_prim_search",
+    "atim_speedup_vs_cpu",
+]
+
+
+def test_fig9_all_workloads_64mb(benchmark):
+    rows = benchmark.pedantic(
+        fig9_tensor_ops,
+        kwargs=dict(sizes=["64MB"], n_trials=32),
+        rounds=1,
+        iterations=1,
+    )
+    save_report(
+        "fig9_tensor_ops_64mb",
+        render_table(rows, COLUMNS, title="Fig 9 (64MB instances)")
+        + f"\nATiM vs PrIM: {summarize_speedups(rows, 'atim_speedup_vs_prim')}"
+        + f"\nATiM vs PrIM+search:"
+        f" {summarize_speedups(rows, 'atim_speedup_vs_prim_search')}",
+    )
+    assert len(rows) == 7
+    for row in rows:
+        # ATiM never loses to PrIM (it searches a superset space).
+        assert row["atim_speedup_vs_prim"] >= 0.99, row
+    summary = summarize_speedups(rows, "atim_speedup_vs_prim")
+    # Paper: 2.49x average over PrIM; shape check at reduced trials.
+    assert summary["gmean"] > 1.3
+    assert summary["max"] > 2.0
+    # Reduction-style wins concentrate on matvec workloads.
+    by_wl = {r["workload"]: r for r in rows}
+    assert by_wl["mtv"]["atim_speedup_vs_prim"] > by_wl["va"][
+        "atim_speedup_vs_prim"
+    ]
+
+
+def test_fig9_mtv_size_scaling(benchmark):
+    rows = benchmark.pedantic(
+        fig9_tensor_ops,
+        kwargs=dict(
+            workloads=["mtv"],
+            sizes=["4MB", "64MB", "256MB", "512MB"],
+            n_trials=32,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_report(
+        "fig9_mtv_sizes", render_table(rows, COLUMNS, title="Fig 9(d): MTV sizes")
+    )
+    # PIM-over-CPU advantage grows with tensor size (paper §7.1).
+    cpu_speedups = [r["atim_speedup_vs_cpu"] for r in rows]
+    assert cpu_speedups[-1] > cpu_speedups[0]
+    # ATiM finds 2-D (reduction) tiling on the large instances.
+    assert rows[-1]["atim_params"].get("k_dpus", 1) > 1
+
+
+def test_fig9_simplepim_comparison(benchmark):
+    rows = benchmark.pedantic(
+        fig9_tensor_ops,
+        kwargs=dict(workloads=["va", "red"], sizes=["64MB"], n_trials=24),
+        rounds=1,
+        iterations=1,
+    )
+    save_report(
+        "fig9_simplepim", render_table(rows, title="Fig 9: SimplePIM cases")
+    )
+    for row in rows:
+        # Paper: ATiM outperforms SimplePIM (2.86x average across sizes).
+        assert row["atim_speedup_vs_simplepim"] > 1.2

@@ -1,0 +1,35 @@
+"""Fig. 15 — autotuning overhead: round times and candidate scatter."""
+
+import statistics
+
+from repro.harness import fig15_tuning_overhead
+
+from .conftest import save_report
+
+
+def test_fig15_tuning_overhead(benchmark):
+    data = benchmark.pedantic(
+        fig15_tuning_overhead,
+        kwargs=dict(m=4096, k=4096, n_trials=48),
+        rounds=1,
+        iterations=1,
+    )
+    upmem = data["upmem_measured"]
+    cpu = data["cpu_measured"]
+    lines = [
+        "Fig 15: candidate execution times (s)",
+        f"UPMEM: n={len(upmem)} min={min(upmem):.4g} max={max(upmem):.4g}"
+        f" median={statistics.median(upmem):.4g}",
+        f"CPU:   n={len(cpu)} min={min(cpu):.4g} max={max(cpu):.4g}"
+        f" median={statistics.median(cpu):.4g}",
+        f"rounds: {[round(t, 3) for t in data['upmem_round_times']]}",
+    ]
+    save_report("fig15_tuning_overhead", "\n".join(lines))
+
+    # The paper's observation: UPMEM candidates show much larger spread
+    # (bad tiling configurations are catastrophically slow) than CPU ones.
+    upmem_spread = max(upmem) / min(upmem)
+    cpu_spread = max(cpu) / min(cpu)
+    assert upmem_spread > cpu_spread
+    assert upmem_spread > 5.0
+    assert data["upmem_round_times"]

@@ -1,0 +1,10 @@
+"""Setup shim enabling legacy editable installs in offline environments.
+
+The execution environment has no ``wheel`` package and no network, so
+PEP 517 editable installs (which build a wheel) fail; ``setup.py develop``
+does not need one.  Metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,35 @@
+"""ATiM reproduction: an autotuning tensor compiler for DRAM-PIM (UPMEM).
+
+Public API::
+
+    from repro import te, build
+    from repro.schedule import Schedule
+    from repro.autotune import autotune
+
+    A = te.placeholder((M, K), "float32", "A")
+    ...
+    mod = build(sch, name="mtv")
+    out, = mod.run(A=a, B=b)
+    print(mod.profile().latency.total)
+"""
+
+from . import te, tir
+from .lowering import LowerOptions, lower
+from .runtime import Module, build
+from .schedule import Schedule
+from .upmem import DEFAULT_CONFIG, UpmemConfig
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "te",
+    "tir",
+    "build",
+    "Module",
+    "lower",
+    "LowerOptions",
+    "Schedule",
+    "UpmemConfig",
+    "DEFAULT_CONFIG",
+    "__version__",
+]

@@ -1,0 +1,30 @@
+"""Autotuning: sketches, verifier, cost model, balanced evolutionary search."""
+
+from .cost_model import CostModel
+from .database import Database, TuningRecord
+from .features import FEATURE_NAMES, extract_features
+from .sketch import (
+    SketchError,
+    generate_schedule,
+    param_space,
+    subspace_of,
+)
+from .tuner import Candidate, TuneResult, Tuner, autotune
+from .verifier import verify
+
+__all__ = [
+    "autotune",
+    "Tuner",
+    "TuneResult",
+    "Candidate",
+    "Database",
+    "TuningRecord",
+    "CostModel",
+    "extract_features",
+    "FEATURE_NAMES",
+    "generate_schedule",
+    "param_space",
+    "subspace_of",
+    "SketchError",
+    "verify",
+]

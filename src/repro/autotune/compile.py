@@ -1,0 +1,41 @@
+"""Helper: compile a (workload, params) pair into a verified module."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..lowering import LoweredModule, LowerOptions, LoweringError, lower
+from ..optim import optimize_module
+from ..schedule import ScheduleError
+from ..upmem.config import UpmemConfig
+from ..workloads import Workload
+from .sketch import SketchError, generate_schedule
+from .verifier import verify
+
+__all__ = ["compile_params"]
+
+
+def compile_params(
+    workload: Workload,
+    params: Dict[str, int],
+    optimize: str = "O3",
+    config: Optional[UpmemConfig] = None,
+    check: bool = True,
+) -> Optional[LoweredModule]:
+    """Sketch → lower → optimize → verify; ``None`` if invalid."""
+    try:
+        schedule = generate_schedule(workload, params)
+        module = lower(
+            schedule,
+            name=workload.name,
+            options=LowerOptions(optimize=optimize),
+        )
+    except (SketchError, ScheduleError, LoweringError):
+        return None
+    module = optimize_module(module, optimize)
+    module.const_inputs = frozenset(workload.const_inputs)
+    if check:
+        ok, _ = verify(module, config)
+        if not ok:
+            return None
+    return module

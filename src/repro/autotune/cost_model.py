@@ -1,0 +1,77 @@
+"""Learned cost model guiding the evolutionary search.
+
+The paper uses TVM's XGBoost ranker; offline we use ridge regression on
+log-latency over the features of :mod:`repro.autotune.features`.  Any
+rank-accurate regressor suffices — the search only uses predicted order.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["CostModel"]
+
+
+class CostModel:
+    """Ridge regression on standardized features predicting log latency."""
+
+    def __init__(self, l2: float = 1.0) -> None:
+        self.l2 = l2
+        self._weights: Optional[np.ndarray] = None
+        self._mean: Optional[np.ndarray] = None
+        self._std: Optional[np.ndarray] = None
+        self._y_mean: float = 0.0
+
+    @property
+    def trained(self) -> bool:
+        return self._weights is not None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> None:
+        """Fit on measured latencies (seconds)."""
+        if len(y) < 4:
+            return
+        logy = np.log(np.maximum(y, 1e-12))
+        self._mean = X.mean(axis=0)
+        self._std = X.std(axis=0)
+        self._std[self._std < 1e-9] = 1.0
+        Z = (X - self._mean) / self._std
+        self._y_mean = float(logy.mean())
+        n_features = Z.shape[1]
+        gram = Z.T @ Z + self.l2 * np.eye(n_features)
+        self._weights = np.linalg.solve(gram, Z.T @ (logy - self._y_mean))
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predicted log latency; lower is better.
+
+        Untrained models return zeros (uninformative — the search then
+        behaves like random sampling, as in early TVM rounds).
+        """
+        if not self.trained or X.size == 0:
+            return np.zeros(len(X))
+        Z = (X - self._mean) / self._std
+        return Z @ self._weights + self._y_mean
+
+    def rank_error(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Fraction of discordant pairs on held data (diagnostic)."""
+        if not self.trained or len(y) < 2:
+            return 0.5
+        pred = self.predict(X)
+        order_true = np.argsort(y)
+        order_pred = np.argsort(pred)
+        rank_true = np.empty(len(y))
+        rank_pred = np.empty(len(y))
+        rank_true[order_true] = np.arange(len(y))
+        rank_pred[order_pred] = np.arange(len(y))
+        n = len(y)
+        discordant = 0
+        total = 0
+        for i in range(n):
+            for j in range(i + 1, n):
+                total += 1
+                if (rank_true[i] - rank_true[j]) * (
+                    rank_pred[i] - rank_pred[j]
+                ) < 0:
+                    discordant += 1
+        return discordant / max(1, total)

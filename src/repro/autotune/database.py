@@ -1,0 +1,67 @@
+"""Tuning-record database (the "best candidate database" of Fig. 6)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["TuningRecord", "Database"]
+
+
+@dataclass
+class TuningRecord:
+    """One measured candidate."""
+
+    params: Dict[str, int]
+    subspace: str
+    latency: float
+    features: Optional[np.ndarray] = None
+    trial: int = 0
+
+    @property
+    def key(self) -> Tuple:
+        return tuple(sorted(self.params.items()))
+
+
+class Database:
+    """Measured candidates, ordered queries by latency."""
+
+    def __init__(self) -> None:
+        self._records: List[TuningRecord] = []
+        self._seen: Dict[Tuple, float] = {}
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def add(self, record: TuningRecord) -> None:
+        self._records.append(record)
+        self._seen[record.key] = record.latency
+
+    def contains(self, params: Dict[str, int]) -> bool:
+        return tuple(sorted(params.items())) in self._seen
+
+    def records(self) -> List[TuningRecord]:
+        return list(self._records)
+
+    def top_k(self, k: int, subspace: Optional[str] = None) -> List[TuningRecord]:
+        pool = [
+            r
+            for r in self._records
+            if subspace is None or r.subspace == subspace
+        ]
+        pool.sort(key=lambda r: r.latency)
+        return pool[:k]
+
+    def best(self) -> Optional[TuningRecord]:
+        top = self.top_k(1)
+        return top[0] if top else None
+
+    def training_data(self) -> Tuple[np.ndarray, np.ndarray]:
+        rows = [r for r in self._records if r.features is not None]
+        if not rows:
+            return np.zeros((0, 0)), np.zeros(0)
+        X = np.stack([r.features for r in rows])
+        y = np.array([r.latency for r in rows])
+        return X, y

@@ -1,0 +1,303 @@
+"""ATiM-extended sketch generation rules (paper §5.2.1, Fig. 6, Table 2).
+
+A *sketch* is a parameterized schedule template implementing the tunable
+host and kernel operations: host-to-DPU data distribution (split/reorder/
+bind), reduction strategy (rfactor), multi-level tiling, intra-DPU caching
+(cache_read/cache_write + compute_at) and host post-processing
+(split + parallel).  A *candidate* is a sketch plus concrete parameter
+values; the evolutionary search explores the joint space.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List
+
+from ..schedule import Schedule, ScheduleError
+from ..workloads import Workload
+
+__all__ = [
+    "SketchError",
+    "generate_schedule",
+    "param_space",
+    "subspace_of",
+    "DPU_CHOICES",
+    "TASKLET_CHOICES",
+    "CACHE_CHOICES",
+]
+
+
+class SketchError(ScheduleError):
+    """The parameter combination cannot form a valid schedule."""
+
+
+DPU_CHOICES = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048]
+TASKLET_CHOICES = [1, 2, 4, 8, 16, 24]
+CACHE_CHOICES = [8, 16, 32, 64, 128, 256, 512]
+HOST_THREAD_CHOICES = [1, 4, 16, 32]
+
+
+def _clamp_parts(nparts: int, extent: int) -> int:
+    """Never split into more parts than iterations (oversubscription would
+    inflate per-DPU regions with padded rows)."""
+    return max(1, min(nparts, extent))
+
+
+def _pow2_upto(limit: int, choices: List[int]) -> List[int]:
+    picked = [c for c in choices if c <= max(1, limit)]
+    return picked or [1]
+
+
+def _tile_domain(extent: int, limit: int, choices: List[int]) -> List[int]:
+    """Powers of two plus exact divisors of ``extent`` (perfect tiles).
+
+    ATiM samples tile factors within loop bounds, so non-power-of-two
+    extents (e.g. 448 = 28 heads x 16 batch) can still tile exactly.
+    """
+    domain = set(_pow2_upto(min(limit, extent), choices))
+    d = 1
+    while d * d <= extent:
+        if extent % d == 0:
+            for f in (d, extent // d):
+                if 1 <= f <= min(limit, extent):
+                    domain.add(f)
+        d += 1
+    return sorted(domain)
+
+
+# ---------------------------------------------------------------------------
+# parameter spaces
+# ---------------------------------------------------------------------------
+
+
+def param_space(workload: Workload, max_dpus: int = 2048) -> Dict[str, List[int]]:
+    """Tunable-parameter domains for a workload (paper Table 2)."""
+    name = workload.name
+    if name in ("va", "geva"):
+        (n,) = workload.shape
+        return {
+            "n_dpus": _pow2_upto(min(max_dpus, n), DPU_CHOICES),
+            "n_tasklets": TASKLET_CHOICES,
+            "cache": CACHE_CHOICES,
+            "unroll": [0, 1],
+        }
+    if name == "red":
+        (n,) = workload.shape
+        return {
+            "n_dpus": _pow2_upto(min(max_dpus, n // 64), DPU_CHOICES),
+            "n_tasklets": TASKLET_CHOICES,
+            "cache": CACHE_CHOICES,
+            "dpu_combine": [0, 1],
+            "host_threads": HOST_THREAD_CHOICES,
+            "unroll": [0, 1],
+        }
+    if name in ("mtv", "gemv"):
+        m, k = workload.shape
+        return {
+            "m_dpus": _tile_domain(m, max_dpus, DPU_CHOICES),
+            "k_dpus": _pow2_upto(min(64, k // 64), DPU_CHOICES),
+            "n_tasklets": TASKLET_CHOICES,
+            "cache": CACHE_CHOICES,
+            "host_threads": HOST_THREAD_CHOICES,
+            "unroll": [0, 1],
+        }
+    if name in ("ttv", "mmtv"):
+        m, n, k = workload.shape
+        return {
+            "i_dpus": _tile_domain(m, max_dpus, DPU_CHOICES),
+            "j_dpus": _tile_domain(n, max_dpus, DPU_CHOICES),
+            "k_dpus": _pow2_upto(min(8, k // 64), DPU_CHOICES),
+            "n_tasklets": TASKLET_CHOICES,
+            "cache": CACHE_CHOICES,
+            "host_threads": HOST_THREAD_CHOICES,
+            "unroll": [0, 1],
+        }
+    raise KeyError(f"no sketch for workload {name!r}")
+
+
+def subspace_of(workload_name: str, params: Dict[str, int]) -> str:
+    """Design-space tag used by balanced sampling (§5.2.3).
+
+    Candidates factoring the reduction across DPUs (``rfactor``) form one
+    subspace; plain spatial-only distribution forms the other.
+    """
+    if params.get("k_dpus", 1) > 1 or params.get("dpu_combine") is not None:
+        if params.get("k_dpus", 1) > 1:
+            return "rfactor"
+    return "plain"
+
+
+# ---------------------------------------------------------------------------
+# sketches
+# ---------------------------------------------------------------------------
+
+
+def generate_schedule(workload: Workload, params: Dict[str, int]) -> Schedule:
+    """Instantiate the sketch for ``workload`` with concrete parameters."""
+    builder = _SKETCHES.get(workload.name)
+    if builder is None:
+        raise KeyError(f"no sketch for workload {workload.name!r}")
+    try:
+        return builder(workload, params)
+    except ScheduleError as exc:
+        raise SketchError(str(exc)) from exc
+
+
+def _sketch_elementwise(workload: Workload, p: Dict[str, int]) -> Schedule:
+    out = workload.output
+    sch = Schedule(out)
+    s = sch[out]
+    (i,) = s.op.axis
+    i_dpu, rest = s.split(i, nparts=_clamp_parts(p["n_dpus"], i.extent))
+    i_thr, r2 = s.split(rest, nparts=_clamp_parts(p["n_tasklets"], rest.extent))
+    i_blk, i_in = s.split(r2, factor=p["cache"])
+    s.reorder(i_dpu, i_thr, i_blk, i_in)
+    if p.get("unroll"):
+        s.unroll(i_in)
+    s.bind(i_dpu, "blockIdx.x")
+    s.bind(i_thr, "threadIdx.x")
+    for inp in workload.inputs:
+        sch.cache_read(out, inp, "wram").compute_at(s, i_blk)
+    sch.cache_write(out, "wram").reverse_compute_at(s, i_blk)
+    return sch
+
+
+def _sketch_red(workload: Workload, p: Dict[str, int]) -> Schedule:
+    out = workload.output
+    sch = Schedule(out)
+    s = sch[out]
+    (k,) = s.op.reduce_axis
+    k_dpu, k_rest = s.split(k, nparts=_clamp_parts(p["n_dpus"], k.extent))
+    cf = sch.rfactor(out, k_dpu)  # per-DPU partials
+    scf = sch[cf]
+    (kr,) = scf.op.reduce_axis
+    k_thr, k_rest2 = scf.split(kr, nparts=_clamp_parts(p["n_tasklets"], kr.extent))
+    cf2 = sch.rfactor(cf, k_thr)  # per-tasklet partials
+    s2 = sch[cf2]
+    thr_ax, dpu_ax, i_ax = s2.op.axis
+    (k_in,) = s2.op.reduce_axis
+    k_blk, k_elem = s2.split(k_in, factor=p["cache"])
+    s2.reorder(dpu_ax, thr_ax, i_ax, k_blk, k_elem)
+    if p.get("unroll"):
+        s2.unroll(k_elem)
+    s2.bind(dpu_ax, "blockIdx.x")
+    s2.bind(thr_ax, "threadIdx.x")
+    sch.cache_read(cf2, workload.inputs[0], "wram").compute_at(s2, k_blk)
+    sch.cache_write(cf2, "wram").reverse_compute_at(s2, thr_ax)
+    # Tasklet partials are combined on the DPU (ATiM/SimplePIM style) or
+    # shipped to the host (PrIM sends every tasklet's result).
+    if p.get("dpu_combine", 1):
+        s_cf = sch[cf]
+        rf_dpu_ax = s_cf.op.axis[0]
+        s_cf.bind(rf_dpu_ax, "blockIdx.x")
+    # Host final reduction over per-DPU (or per-tasklet) partials.
+    s_final = sch[out]
+    (krf,) = s_final.op.reduce_axis
+    ko, _ki = s_final.split(krf, nparts=p.get("host_threads", 1))
+    s_final.parallel(ko)
+    return sch
+
+
+def _sketch_matvec(workload: Workload, p: Dict[str, int]) -> Schedule:
+    out = workload.output
+    sch = Schedule(out)
+    s = sch[out]
+    (i,) = s.op.axis
+    (k,) = s.op.reduce_axis
+    k_dpus = p.get("k_dpus", 1)
+
+    if k_dpus > 1:
+        k_dpu, _k_rest = s.split(k, nparts=k_dpus)
+        cf = sch.rfactor(out, k_dpu)
+        stage = sch[cf]
+        kd_ax, i_ax = stage.op.axis
+        (k_inner,) = stage.op.reduce_axis
+        target = cf
+    else:
+        stage = s
+        kd_ax = None
+        i_ax = i
+        k_inner = k
+        target = out
+
+    m_dpu, m_rest = stage.split(i_ax, nparts=_clamp_parts(p["m_dpus"], i_ax.extent))
+    m_thr, m_in = stage.split(m_rest, nparts=_clamp_parts(p["n_tasklets"], m_rest.extent))
+    k_blk, k_elem = stage.split(k_inner, factor=p["cache"])
+    order = [m_dpu] + ([kd_ax] if kd_ax is not None else [])
+    order += [m_thr, m_in, k_blk, k_elem]
+    stage.reorder(*order)
+    if p.get("unroll"):
+        stage.unroll(k_elem)
+    stage.bind(m_dpu, "blockIdx.x")
+    if kd_ax is not None:
+        stage.bind(kd_ax, "blockIdx.y")
+    stage.bind(m_thr, "threadIdx.x")
+    for inp in workload.inputs:
+        sch.cache_read(target, inp, "wram").compute_at(stage, k_blk)
+    sch.cache_write(target, "wram").reverse_compute_at(stage, m_thr)
+
+    if k_dpus > 1:
+        s_final = sch[out]
+        (i_f,) = s_final.op.axis
+        fo, _fi = s_final.split(i_f, nparts=p.get("host_threads", 1))
+        s_final.parallel(fo)
+    return sch
+
+
+def _sketch_batched(workload: Workload, p: Dict[str, int]) -> Schedule:
+    out = workload.output
+    sch = Schedule(out)
+    s = sch[out]
+    i, j = s.op.axis
+    (k,) = s.op.reduce_axis
+    k_dpus = p.get("k_dpus", 1)
+
+    if k_dpus > 1:
+        k_dpu, _k_rest = s.split(k, nparts=k_dpus)
+        cf = sch.rfactor(out, k_dpu)
+        stage = sch[cf]
+        kd_ax, i_ax, j_ax = stage.op.axis
+        (k_inner,) = stage.op.reduce_axis
+        target = cf
+    else:
+        stage = s
+        kd_ax = None
+        i_ax, j_ax = i, j
+        k_inner = k
+        target = out
+
+    i_dpu, i_in = stage.split(i_ax, nparts=_clamp_parts(p["i_dpus"], i_ax.extent))
+    j_dpu, j_rest = stage.split(j_ax, nparts=_clamp_parts(p["j_dpus"], j_ax.extent))
+    j_thr, j_in = stage.split(j_rest, nparts=_clamp_parts(p["n_tasklets"], j_rest.extent))
+    k_blk, k_elem = stage.split(k_inner, factor=p["cache"])
+    order = [i_dpu, j_dpu] + ([kd_ax] if kd_ax is not None else [])
+    order += [i_in, j_thr, j_in, k_blk, k_elem]
+    stage.reorder(*order)
+    if p.get("unroll"):
+        stage.unroll(k_elem)
+    stage.bind(i_dpu, "blockIdx.x")
+    stage.bind(j_dpu, "blockIdx.y")
+    if kd_ax is not None:
+        stage.bind(kd_ax, "blockIdx.z")
+    stage.bind(j_thr, "threadIdx.x")
+    for inp in workload.inputs:
+        sch.cache_read(target, inp, "wram").compute_at(stage, k_blk)
+    sch.cache_write(target, "wram").reverse_compute_at(stage, j_thr)
+
+    if k_dpus > 1:
+        s_final = sch[out]
+        i_f, _j_f = s_final.op.axis
+        fo, _fi = s_final.split(i_f, nparts=p.get("host_threads", 1))
+        s_final.parallel(fo)
+    return sch
+
+
+_SKETCHES: Dict[str, Callable[[Workload, Dict[str, int]], Schedule]] = {
+    "va": _sketch_elementwise,
+    "geva": _sketch_elementwise,
+    "red": _sketch_red,
+    "mtv": _sketch_matvec,
+    "gemv": _sketch_matvec,
+    "ttv": _sketch_batched,
+    "mmtv": _sketch_batched,
+}

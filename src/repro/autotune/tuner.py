@@ -1,0 +1,351 @@
+"""The balanced evolutionary search and autotuning driver (§5.2.3, Fig. 6).
+
+Mechanics per round:
+
+1. build a candidate pool from mutated top-K database entries plus fresh
+   random samples;
+2. rank the pool with the learned cost model;
+3. ε-greedy selection of the measurement batch (ε decays linearly from
+   0.5 to 0.05 over the first 40% of trials when ``adaptive_epsilon``);
+4. *balanced sampling*: during the first 40% of trials the batch draws an
+   equal share from the ``rfactor`` and ``plain`` design subspaces so the
+   inter-DPU-parallelism bias cannot drop non-rfactor candidates early;
+5. "measure" the batch on the simulated UPMEM system, record, retrain.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..upmem.config import DEFAULT_CONFIG, UpmemConfig
+from ..upmem.system import PerformanceModel
+from ..workloads import Workload
+from .cost_model import CostModel
+from .database import Database, TuningRecord
+from .features import extract_features
+from .sketch import param_space, subspace_of
+
+__all__ = ["Candidate", "TuneResult", "Tuner", "autotune"]
+
+
+@dataclass
+class Candidate:
+    """An unmeasured schedule candidate."""
+
+    params: Dict[str, int]
+    subspace: str
+    module: object = None  # LoweredModule once built
+    features: Optional[np.ndarray] = None
+    predicted: float = 0.0
+    #: Sketch-default candidates are always measured in the first batch.
+    is_seed: bool = False
+
+    @property
+    def key(self) -> Tuple:
+        return tuple(sorted(self.params.items()))
+
+
+@dataclass
+class TuneResult:
+    """Outcome of an autotuning run."""
+
+    workload: Workload
+    best_params: Dict[str, int]
+    best_latency: float
+    best_module: object
+    database: Database
+    #: (trial index, best latency so far) pairs for convergence plots.
+    history: List[Tuple[int, float]] = field(default_factory=list)
+    #: wall-clock seconds spent per round (Fig. 15 left).
+    round_times: List[float] = field(default_factory=list)
+    #: simulated latency of every measured candidate (Fig. 15 right).
+    measured: List[float] = field(default_factory=list)
+
+    def best_gflops(self) -> float:
+        return self.workload.flops / self.best_latency / 1e9
+
+    def gflops_curve(self) -> List[Tuple[int, float]]:
+        return [
+            (trial, self.workload.flops / lat / 1e9) for trial, lat in self.history
+        ]
+
+
+class Tuner:
+    """Search driver for one workload."""
+
+    def __init__(
+        self,
+        workload: Workload,
+        config: Optional[UpmemConfig] = None,
+        n_trials: int = 256,
+        batch_size: int = 16,
+        seed: int = 0,
+        balanced: bool = True,
+        adaptive_epsilon: bool = True,
+        optimize: str = "O3",
+        top_k: int = 10,
+        pool_multiplier: int = 4,
+        seed_defaults: bool = True,
+    ) -> None:
+        self.workload = workload
+        self.config = config or DEFAULT_CONFIG
+        self.n_trials = n_trials
+        self.batch_size = batch_size
+        self.rng = random.Random(seed)
+        self.balanced = balanced
+        self.adaptive_epsilon = adaptive_epsilon
+        self.optimize = optimize
+        self.top_k = top_k
+        self.pool_multiplier = pool_multiplier
+        #: Measure canonical sketch defaults first (Ansor-style warm
+        #: start).  Disabled for search-dynamics studies (Fig. 14), where
+        #: the cold-start bias between design subspaces is the subject.
+        self.seed_defaults = seed_defaults
+        self.space = param_space(workload, max_dpus=self.config.n_dpus)
+        self.database = Database()
+        self.cost_model = CostModel()
+        self.perf = PerformanceModel(self.config)
+        self._explore_until = int(0.4 * n_trials)
+
+    # -- candidate construction ------------------------------------------------
+    def _random_params(self) -> Dict[str, int]:
+        return {k: self.rng.choice(v) for k, v in self.space.items()}
+
+    def _mutate_params(self, params: Dict[str, int]) -> Dict[str, int]:
+        new = dict(params)
+        key = self.rng.choice(list(self.space))
+        domain = self.space[key]
+        idx = domain.index(new[key]) if new[key] in domain else 0
+        step = self.rng.choice([-1, 1])
+        new[key] = domain[max(0, min(len(domain) - 1, idx + step))]
+        return new
+
+    def _build(self, params: Dict[str, int]) -> Optional[Candidate]:
+        from .compile import compile_params
+
+        module = compile_params(
+            self.workload, params, optimize=self.optimize, config=self.config
+        )
+        if module is None:
+            return None
+        cand = Candidate(
+            params=params, subspace=subspace_of(self.workload.name, params)
+        )
+        cand.module = module
+        cand.features = extract_features(module, self.config)
+        return cand
+
+    # -- search -------------------------------------------------------------------
+    def epsilon(self, trial: int) -> float:
+        """Exploration rate at a given trial (adaptive: 0.5 → 0.05)."""
+        if not self.adaptive_epsilon:
+            return 0.05
+        if trial >= self._explore_until or self._explore_until == 0:
+            return 0.05
+        frac = trial / self._explore_until
+        return 0.5 + (0.05 - 0.5) * frac
+
+    def _seed_params(self) -> List[Dict[str, int]]:
+        """Canonical defaults measured first (one per design subspace).
+
+        Mirrors Ansor/MetaSchedule seeding the population with each
+        sketch's default before evolution starts: a max-parallelism plain
+        candidate and, where the space has a reduction dimension, an
+        rfactor variant.
+        """
+        seeds: List[Dict[str, int]] = []
+        base = {}
+        budget = self.config.n_dpus
+        for key, domain in self.space.items():
+            if key in ("n_dpus", "i_dpus", "m_dpus"):
+                base[key] = max(d for d in domain if d <= budget)
+                budget //= base[key]
+            elif key == "j_dpus":
+                base[key] = max(d for d in domain if d <= max(1, budget))
+                budget //= base[key]
+            elif key == "k_dpus":
+                base[key] = 1
+            elif key == "n_tasklets":
+                base[key] = 16 if 16 in domain else domain[-1]
+            elif key == "cache":
+                base[key] = 64 if 64 in domain else domain[-1]
+            elif key == "host_threads":
+                base[key] = domain[-1]
+            else:
+                base[key] = domain[0]
+        seeds.append(base)
+        if "k_dpus" in self.space and len(self.space["k_dpus"]) > 1:
+            rf = dict(base)
+            rf["k_dpus"] = max(
+                d for d in self.space["k_dpus"] if d <= max(1, budget)
+            )
+            if rf["k_dpus"] == 1 and len(self.space["k_dpus"]) > 1:
+                # Trade spatial DPUs for reduction DPUs.
+                shrink = "m_dpus" if "m_dpus" in rf else "i_dpus"
+                domain = self.space[shrink]
+                idx = domain.index(rf[shrink])
+                rf[shrink] = domain[max(0, idx - 2)]
+                rf["k_dpus"] = self.space["k_dpus"][
+                    min(2, len(self.space["k_dpus"]) - 1)
+                ]
+            seeds.append(rf)
+        if "dpu_combine" in self.space:
+            alt = dict(base)
+            alt["dpu_combine"] = 1
+            seeds.append(alt)
+        big_cache = dict(base)
+        big_cache["cache"] = 256 if 256 in self.space.get("cache", []) else base["cache"]
+        if big_cache != base:
+            seeds.append(big_cache)
+        return seeds
+
+    def _sample_pool(self, size: int) -> List[Candidate]:
+        pool: List[Candidate] = []
+        seen = set()
+        if self.seed_defaults and not len(self.database):
+            for params in self._seed_params():
+                cand = self._try_candidate(params, seen)
+                if cand:
+                    cand.is_seed = True
+                    pool.append(cand)
+        # Mutations of the current elite.
+        for record in self.database.top_k(self.top_k):
+            for _ in range(2):
+                params = self._mutate_params(record.params)
+                cand = self._try_candidate(params, seen)
+                if cand:
+                    pool.append(cand)
+        # Fresh uniform samples (uniform across design subspaces).
+        attempts = 0
+        while len(pool) < size and attempts < size * 10:
+            attempts += 1
+            cand = self._try_candidate(self._random_params(), seen)
+            if cand:
+                pool.append(cand)
+        return pool
+
+    def _try_candidate(self, params: Dict[str, int], seen) -> Optional[Candidate]:
+        key = tuple(sorted(params.items()))
+        if key in seen or self.database.contains(params):
+            return None
+        seen.add(key)
+        cand = self._build(params)
+        return cand
+
+    def _select_batch(
+        self, pool: List[Candidate], trial: int
+    ) -> List[Candidate]:
+        if not pool:
+            return []
+        X = np.stack([c.features for c in pool])
+        scores = self.cost_model.predict(X)
+        for cand, score in zip(pool, scores):
+            cand.predicted = float(score)
+        eps = self.epsilon(trial)
+
+        def greedy(cands: Sequence[Candidate], n: int) -> List[Candidate]:
+            ranked = sorted(cands, key=lambda c: c.predicted)
+            return list(ranked[:n])
+
+        batch: List[Candidate] = []
+        n = min(self.batch_size, len(pool))
+        if self.balanced and trial < self._explore_until:
+            # Equal representation of rfactor / plain subspaces early on.
+            for tag in ("rfactor", "plain"):
+                subset = [c for c in pool if c.subspace == tag]
+                batch.extend(greedy(subset, n // 2))
+            remaining = [c for c in pool if c not in batch]
+            batch.extend(greedy(remaining, n - len(batch)))
+        else:
+            batch = greedy(pool, n)
+        # ε-greedy: replace a fraction with random pool members (seeds
+        # are exempt — sketch defaults are always measured).
+        for i in range(len(batch)):
+            if not batch[i].is_seed and self.rng.random() < eps:
+                batch[i] = self.rng.choice(pool)
+        for cand in pool:
+            if cand.is_seed and cand not in batch:
+                batch.insert(0, cand)
+        # Dedupe while preserving order.
+        unique: List[Candidate] = []
+        keys = set()
+        for c in batch:
+            if c.key not in keys:
+                keys.add(c.key)
+                unique.append(c)
+        return unique
+
+    # -- measurement ----------------------------------------------------------------
+    def _measure(self, cand: Candidate) -> float:
+        return self.perf.profile(cand.module).latency.total
+
+    def tune(self) -> TuneResult:
+        """Run the search; returns the best candidate and full history."""
+        trial = 0
+        history: List[Tuple[int, float]] = []
+        round_times: List[float] = []
+        measured: List[float] = []
+        best: Optional[TuningRecord] = None
+
+        while trial < self.n_trials:
+            start = time.perf_counter()
+            pool = self._sample_pool(self.batch_size * self.pool_multiplier)
+            batch = self._select_batch(pool, trial)
+            if not batch:
+                break
+            for cand in batch:
+                latency = self._measure(cand)
+                measured.append(latency)
+                record = TuningRecord(
+                    params=cand.params,
+                    subspace=cand.subspace,
+                    latency=latency,
+                    features=cand.features,
+                    trial=trial,
+                )
+                self.database.add(record)
+                trial += 1
+                if best is None or latency < best.latency:
+                    best = record
+                history.append((trial, best.latency))
+                if trial >= self.n_trials:
+                    break
+            X, y = self.database.training_data()
+            self.cost_model.fit(X, y)
+            round_times.append(time.perf_counter() - start)
+
+        if best is None:
+            raise RuntimeError(
+                f"no valid candidate found for workload {self.workload.name!r}"
+            )
+        best_candidate = self._build(best.params)
+        assert best_candidate is not None
+        return TuneResult(
+            workload=self.workload,
+            best_params=best.params,
+            best_latency=best.latency,
+            best_module=best_candidate.module,
+            database=self.database,
+            history=history,
+            round_times=round_times,
+            measured=measured,
+        )
+
+
+def autotune(
+    workload: Workload,
+    n_trials: int = 256,
+    config: Optional[UpmemConfig] = None,
+    seed: int = 0,
+    **kwargs,
+) -> TuneResult:
+    """Autotune a workload on the simulated UPMEM system (ATiM's flow)."""
+    tuner = Tuner(
+        workload, config=config, n_trials=n_trials, seed=seed, **kwargs
+    )
+    return tuner.tune()

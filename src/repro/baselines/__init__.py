@@ -1,0 +1,27 @@
+"""Baselines the paper compares against: PrIM, SimplePIM, CPU, GPU."""
+
+from .cpu import CpuModel, GpuModel, cpu_latency, gpu_latency
+from .prim import (
+    PRIM_DEFAULT_DPUS,
+    prim_e_profile,
+    prim_module,
+    prim_params,
+    prim_profile,
+    prim_search_profile,
+)
+from .simplepim import SIMPLEPIM_WORKLOADS, simplepim_profile
+
+__all__ = [
+    "CpuModel",
+    "GpuModel",
+    "cpu_latency",
+    "gpu_latency",
+    "prim_params",
+    "prim_module",
+    "prim_profile",
+    "prim_e_profile",
+    "prim_search_profile",
+    "PRIM_DEFAULT_DPUS",
+    "simplepim_profile",
+    "SIMPLEPIM_WORKLOADS",
+]

@@ -1,0 +1,96 @@
+"""SimplePIM baseline (Chen et al., PACT 2023) — VA and RED only.
+
+SimplePIM's map/reduce framework is reproduced as a schedule plus its
+documented framework overheads (paper §7.1):
+
+* **VA/GEVA (map)**: the handler-based runtime gathers the *entire* output
+  tensor on the host with a full-size copy on the host side, making D2H
+  4–11× more expensive than PrIM/ATiM.
+* **RED (reduce)**: one partial per DPU is transferred (efficient), but
+  each partial-reduction step synchronizes all tasklets with a global
+  barrier (log2(T) rounds) instead of PrIM/ATiM's two-thread handshake,
+  and the host final reduction pays per-element library-call overhead.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import replace
+from typing import Optional
+
+from ..autotune.compile import compile_params
+from ..upmem.config import DEFAULT_CONFIG, UpmemConfig
+from ..upmem.system import Latency, PerformanceModel, ProfileResult
+from ..workloads import Workload
+
+__all__ = ["simplepim_profile", "SIMPLEPIM_WORKLOADS"]
+
+SIMPLEPIM_WORKLOADS = ("va", "geva", "red")
+
+#: SimplePIM handler defaults.
+_TASKLETS = 16
+_CACHE = 256
+#: Host-side overhead per output element for the framework's extra copy.
+_HOST_COPY_BANDWIDTH = 3.0e9
+#: Overhead of the host final reduction's internal library calls (s/elem).
+_HOST_REDUCE_OVERHEAD = 4.0e-8
+
+
+def simplepim_profile(
+    workload: Workload, config: Optional[UpmemConfig] = None
+) -> ProfileResult:
+    """Latency profile of the SimplePIM implementation of a workload."""
+    if workload.name not in SIMPLEPIM_WORKLOADS:
+        raise KeyError(
+            f"SimplePIM provides only {SIMPLEPIM_WORKLOADS}, not"
+            f" {workload.name!r}"
+        )
+    cfg = config or DEFAULT_CONFIG
+    model = PerformanceModel(cfg)
+
+    if workload.name in ("va", "geva"):
+        params = {"n_dpus": cfg.n_dpus, "n_tasklets": _TASKLETS, "cache": _CACHE}
+        module = compile_params(workload, params, "O3", cfg)
+        assert module is not None
+        prof = model.profile(module)
+        # Whole-tensor host-side copy after D2H (the framework gathers and
+        # re-materializes the full output array).
+        extra_d2h = workload.bytes_out / _HOST_COPY_BANDWIDTH
+        latency = replace(prof.latency, d2h=prof.latency.d2h + extra_d2h)
+        return ProfileResult(
+            latency=latency,
+            dpu=prof.dpu,
+            kernel_counts=prof.kernel_counts,
+            n_dpus=prof.n_dpus,
+            n_tasklets=prof.n_tasklets,
+        )
+
+    # RED: one value per DPU (dpu_combine=1) but global-barrier tree
+    # reduction on the DPU and call-heavy host reduction.
+    params = {
+        "n_dpus": 1024,
+        "n_tasklets": _TASKLETS,
+        "cache": _CACHE,
+        "dpu_combine": 1,
+        "host_threads": 1,
+    }
+    module = compile_params(workload, params, "O3", cfg)
+    assert module is not None
+    prof = model.profile(module)
+    barrier_rounds = math.ceil(math.log2(_TASKLETS))
+    extra_kernel = (
+        barrier_rounds * _TASKLETS * cfg.barrier_cycles * cfg.cycle_time_s
+    )
+    extra_host = module.n_dpus * _HOST_REDUCE_OVERHEAD
+    latency = replace(
+        prof.latency,
+        kernel=prof.latency.kernel + extra_kernel,
+        host=prof.latency.host + extra_host,
+    )
+    return ProfileResult(
+        latency=latency,
+        dpu=prof.dpu,
+        kernel_counts=prof.kernel_counts,
+        n_dpus=prof.n_dpus,
+        n_tasklets=prof.n_tasklets,
+    )

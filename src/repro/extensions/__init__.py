@@ -1,0 +1,5 @@
+"""Backend extension sketches beyond UPMEM (paper §8)."""
+
+from .hbm_pim import HbmPimConfig, HbmPimEstimate, HbmPimEstimator
+
+__all__ = ["HbmPimConfig", "HbmPimEstimate", "HbmPimEstimator"]

@@ -1,0 +1,37 @@
+"""Experiment harness: one driver per paper figure/table + text reports."""
+
+from .experiments import (
+    fig3a_cache_tile_sweep,
+    fig3b_tiling_schemes,
+    fig3c_dpu_sweep,
+    fig4_boundary_checks,
+    fig9_tensor_ops,
+    fig10_gptj,
+    fig11_mmtv_scaling,
+    fig12_pim_opts,
+    fig13_breakdown,
+    fig14_search_strategies,
+    fig15_tuning_overhead,
+    profile_params,
+    table3_parameters,
+)
+from .reporting import render_curve, render_table, summarize_speedups
+
+__all__ = [
+    "profile_params",
+    "fig3a_cache_tile_sweep",
+    "fig3b_tiling_schemes",
+    "fig3c_dpu_sweep",
+    "fig4_boundary_checks",
+    "fig9_tensor_ops",
+    "table3_parameters",
+    "fig10_gptj",
+    "fig11_mmtv_scaling",
+    "fig12_pim_opts",
+    "fig13_breakdown",
+    "fig14_search_strategies",
+    "fig15_tuning_overhead",
+    "render_table",
+    "render_curve",
+    "summarize_speedups",
+]

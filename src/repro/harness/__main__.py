@@ -1,0 +1,106 @@
+"""Command-line harness: regenerate any paper experiment.
+
+Usage::
+
+    python -m repro.harness fig3a
+    python -m repro.harness fig9 --workloads mtv red --sizes 64MB --trials 64
+    python -m repro.harness fig12
+    python -m repro.harness fig14 --trials 256
+    python -m repro.harness all --trials 32
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import experiments
+from .reporting import render_curve, render_table
+
+
+def _print_rows(rows, title: str) -> None:
+    print(render_table(rows, title=title))
+    print()
+
+
+def run_experiment(name: str, args: argparse.Namespace) -> None:
+    if name == "fig3a":
+        _print_rows(experiments.fig3a_cache_tile_sweep(), "Fig 3a")
+    elif name == "fig3b":
+        _print_rows(experiments.fig3b_tiling_schemes(), "Fig 3b")
+    elif name == "fig3c":
+        _print_rows(experiments.fig3c_dpu_sweep(), "Fig 3c")
+    elif name == "fig4":
+        _print_rows(experiments.fig4_boundary_checks(), "Fig 4")
+    elif name == "fig9":
+        rows = experiments.fig9_tensor_ops(
+            workloads=args.workloads or None,
+            sizes=args.sizes or None,
+            n_trials=args.trials,
+            seed=args.seed,
+        )
+        _print_rows(rows, "Fig 9")
+    elif name == "tab3":
+        rows = experiments.table3_parameters(
+            workloads=args.workloads or None, n_trials=args.trials,
+            seed=args.seed,
+        )
+        _print_rows(rows, "Table 3")
+    elif name == "fig10":
+        rows = experiments.fig10_gptj(n_trials=args.trials, seed=args.seed)
+        _print_rows(rows, "Fig 10")
+    elif name == "fig11":
+        _print_rows(
+            experiments.fig11_mmtv_scaling(n_trials=args.trials, seed=args.seed),
+            "Fig 11",
+        )
+    elif name == "fig12":
+        _print_rows(experiments.fig12_pim_opts(), "Fig 12")
+    elif name == "fig13":
+        _print_rows(experiments.fig13_breakdown(), "Fig 13")
+    elif name == "fig14":
+        curves = experiments.fig14_search_strategies(
+            n_trials=args.trials, seed=args.seed
+        )
+        for label, curve in curves.items():
+            print(render_curve(curve, title=f"Fig 14: {label}"))
+            print()
+    elif name == "fig15":
+        data = experiments.fig15_tuning_overhead(
+            n_trials=args.trials, seed=args.seed
+        )
+        print("Fig 15: UPMEM candidate latencies (s):")
+        print(sorted(data["upmem_measured"])[:10], "...")
+        print("CPU candidate latencies (s):")
+        print(sorted(data["cpu_measured"])[:10], "...")
+    else:
+        raise SystemExit(f"unknown experiment {name!r}")
+
+
+EXPERIMENTS = (
+    "fig3a", "fig3b", "fig3c", "fig4", "fig9", "tab3", "fig10",
+    "fig11", "fig12", "fig13", "fig14", "fig15",
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description="Regenerate the ATiM paper's figures and tables.",
+    )
+    parser.add_argument("experiment", choices=EXPERIMENTS + ("all",))
+    parser.add_argument("--trials", type=int, default=48,
+                        help="autotuning trials per workload")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--workloads", nargs="*", default=None)
+    parser.add_argument("--sizes", nargs="*", default=None)
+    args = parser.parse_args(argv)
+
+    names = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
+    for name in names:
+        run_experiment(name, args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

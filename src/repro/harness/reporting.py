@@ -1,0 +1,65 @@
+"""Plain-text rendering of experiment rows (the harness's "plots")."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+__all__ = ["render_table", "render_curve", "summarize_speedups"]
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}"
+    if isinstance(value, dict):
+        return ",".join(f"{k}={v}" for k, v in value.items())
+    return str(value)
+
+
+def render_table(rows: List[Dict], columns: Sequence[str] = None, title: str = "") -> str:
+    """Render a list of dicts as an aligned text table."""
+    if not rows:
+        return f"{title}\n(no rows)"
+    cols = list(columns) if columns else list(rows[0].keys())
+    cells = [[_fmt(r.get(c, "")) for c in cols] for r in rows]
+    widths = [
+        max(len(c), *(len(row[i]) for row in cells)) for i, c in enumerate(cols)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(c.ljust(w) for c, w in zip(cols, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in cells:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_curve(points, title: str = "", width: int = 60) -> str:
+    """ASCII rendering of an (x, y) curve (e.g. GFLOPS vs trials)."""
+    if not points:
+        return f"{title}\n(no points)"
+    ys = [y for _x, y in points]
+    lo, hi = min(ys), max(ys)
+    span = (hi - lo) or 1.0
+    lines = [title] if title else []
+    step = max(1, len(points) // 20)
+    for x, y in points[::step]:
+        bar = "#" * int((y - lo) / span * width)
+        lines.append(f"{x:>6}  {y:10.3f}  {bar}")
+    return "\n".join(lines)
+
+
+def summarize_speedups(rows: List[Dict], key: str) -> Dict[str, float]:
+    """Geometric mean / max of a speedup column."""
+    import math
+
+    values = [r[key] for r in rows if key in r and r[key] > 0]
+    if not values:
+        return {"gmean": 0.0, "max": 0.0, "min": 0.0}
+    gmean = math.exp(sum(math.log(v) for v in values) / len(values))
+    return {"gmean": gmean, "max": max(values), "min": min(values)}

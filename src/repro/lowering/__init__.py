@@ -1,0 +1,17 @@
+"""TIR lowering for the UPMEM target (paper §5.2.2)."""
+
+from .bounds import BoundsError, infer_region, symbolic_bound
+from .lower import LoweringError, lower
+from .module import GridDim, LoweredModule, LowerOptions, TransferSpec
+
+__all__ = [
+    "lower",
+    "LoweringError",
+    "LoweredModule",
+    "LowerOptions",
+    "TransferSpec",
+    "GridDim",
+    "BoundsError",
+    "infer_region",
+    "symbolic_bound",
+]

@@ -1,0 +1,15 @@
+"""PIM-aware tensor-level optimizations (paper §5.3)."""
+
+from .dma_elim import eliminate_copy_checks
+from .hoist import hoist_invariant_branches
+from .pipeline import LEVELS, optimize_kernel, optimize_module
+from .tighten import tighten_loop_bounds
+
+__all__ = [
+    "eliminate_copy_checks",
+    "tighten_loop_bounds",
+    "hoist_invariant_branches",
+    "optimize_kernel",
+    "optimize_module",
+    "LEVELS",
+]

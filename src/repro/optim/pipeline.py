@@ -1,0 +1,44 @@
+"""PIM-aware optimization pipeline: O0 → O3 (paper §5.3 / Fig. 13)."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+from ..lowering import LoweredModule
+from ..tir import Stmt
+from .dma_elim import eliminate_copy_checks
+from .hoist import hoist_invariant_branches
+from .tighten import tighten_loop_bounds
+
+__all__ = ["optimize_module", "optimize_kernel", "LEVELS"]
+
+LEVELS = ("O0", "O1", "O2", "O3")
+
+
+def optimize_kernel(kernel: Stmt, level: str = "O3") -> Stmt:
+    """Apply the §5.3 passes to a kernel statement.
+
+    ``O0`` — none; ``O1`` — DMA-aware boundary-check elimination;
+    ``O2`` — + loop-bound tightening; ``O3`` — + invariant branch hoisting.
+    """
+    if level not in LEVELS:
+        raise ValueError(f"unknown optimization level {level!r}")
+    rank = LEVELS.index(level)
+    if rank >= 1:
+        kernel = eliminate_copy_checks(kernel)
+    if rank >= 2:
+        kernel = tighten_loop_bounds(kernel)
+    if rank >= 3:
+        kernel = hoist_invariant_branches(kernel)
+    return kernel
+
+
+def optimize_module(
+    module: LoweredModule, level: str = "O3", config=None
+) -> LoweredModule:
+    """Return a copy of ``module`` with the optimized kernel."""
+    kernel = optimize_kernel(module.kernel, level)
+    if kernel is module.kernel:
+        return module
+    return replace(module, kernel=kernel)

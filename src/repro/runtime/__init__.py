@@ -1,0 +1,5 @@
+"""Runtime: build() and the executable Module wrapper."""
+
+from .module import Module, build
+
+__all__ = ["Module", "build"]

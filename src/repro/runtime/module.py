@@ -1,0 +1,82 @@
+"""Build API: schedule → optimized module with run()/profile().
+
+This is the user-facing entry point::
+
+    mod = repro.build(sch, name="mtv")
+    out, = mod.run(A=a, B=b)          # functional execution
+    prof = mod.profile()              # simulated latency breakdown
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..lowering import LoweredModule, LowerOptions, lower
+from ..schedule import Schedule
+from ..upmem import FunctionalExecutor, UpmemConfig
+from ..upmem.system import PerformanceModel, ProfileResult
+
+__all__ = ["Module", "build"]
+
+
+class Module:
+    """A compiled tensor program targeting the simulated UPMEM system."""
+
+    def __init__(
+        self,
+        lowered: LoweredModule,
+        config: Optional[UpmemConfig] = None,
+    ) -> None:
+        self.lowered = lowered
+        self.config = config
+        self._model = PerformanceModel(config)
+        self._executor = FunctionalExecutor(lowered)
+        self._profile_cache: Optional[ProfileResult] = None
+
+    @property
+    def name(self) -> str:
+        return self.lowered.name
+
+    def run(self, inputs: Optional[Dict[str, np.ndarray]] = None, **named):
+        """Execute functionally; returns the list of output arrays."""
+        data = dict(inputs or {})
+        data.update(named)
+        return self._executor.run(data)
+
+    def profile(self) -> ProfileResult:
+        """Simulated latency breakdown (cached — the model is deterministic)."""
+        if self._profile_cache is None:
+            self._profile_cache = self._model.profile(self.lowered)
+        return self._profile_cache
+
+    @property
+    def latency(self) -> float:
+        """Total simulated latency in seconds."""
+        return self.profile().latency.total
+
+    def script(self) -> str:
+        """Human-readable kernel TIR."""
+        from ..tir import stmt_to_str
+
+        return stmt_to_str(self.lowered.kernel)
+
+
+def build(
+    schedule: Schedule,
+    name: str = "main",
+    options: Optional[LowerOptions] = None,
+    config: Optional[UpmemConfig] = None,
+) -> Module:
+    """Lower, optimize and wrap a schedule into an executable module.
+
+    The PIM-aware optimization level comes from ``options.optimize``
+    (default ``O3`` — all of §5.3).
+    """
+    options = options or LowerOptions()
+    lowered = lower(schedule, name=name, options=options)
+    from ..optim import optimize_module
+
+    lowered = optimize_module(lowered, options.optimize, config)
+    return Module(lowered, config)

@@ -1,0 +1,14 @@
+"""Schedule primitives (split/reorder/bind/cache/rfactor/...) over TE ops."""
+
+from .relations import Fuse, Split, reconstruct_roots
+from .schedule import Schedule, ScheduleError, Stage, THREAD_TAGS
+
+__all__ = [
+    "Schedule",
+    "Stage",
+    "ScheduleError",
+    "Split",
+    "Fuse",
+    "reconstruct_roots",
+    "THREAD_TAGS",
+]

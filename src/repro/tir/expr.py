@@ -1,0 +1,344 @@
+"""Expression nodes for the loop-based tensor IR.
+
+The IR mirrors the subset of TVM's TIR that ATiM's lowering pipeline
+produces: integer/float scalar expressions with affine index arithmetic,
+comparisons, boolean connectives and buffer loads.  Nodes are immutable;
+transformations build new trees (see :mod:`repro.tir.visitor`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple
+
+__all__ = [
+    "PrimExpr",
+    "Var",
+    "IntImm",
+    "FloatImm",
+    "BinaryOp",
+    "Add",
+    "Sub",
+    "Mul",
+    "FloorDiv",
+    "FloorMod",
+    "Min",
+    "Max",
+    "CmpOp",
+    "LT",
+    "LE",
+    "GT",
+    "GE",
+    "EQ",
+    "NE",
+    "And",
+    "Or",
+    "Not",
+    "Select",
+    "BufferLoad",
+    "Call",
+    "Cast",
+    "const",
+    "as_expr",
+    "all_of",
+    "any_of",
+]
+
+
+def _result_dtype(a: "PrimExpr", b: "PrimExpr") -> str:
+    """Widen the operand dtypes following a simple int < float lattice."""
+    if a.dtype == b.dtype:
+        return a.dtype
+    if "float" in (a.dtype, b.dtype) or "float32" in (a.dtype, b.dtype):
+        return "float32"
+    return a.dtype if a.dtype != "int32" else b.dtype
+
+
+class PrimExpr:
+    """Base class of all scalar expressions.
+
+    Every expression carries a ``dtype`` string (``"int32"``, ``"float32"``
+    or ``"bool"``).  Python arithmetic operators are overloaded to build IR
+    nodes, so index math reads naturally: ``i * 16 + j``.
+    """
+
+    __slots__ = ("dtype",)
+
+    def __init__(self, dtype: str) -> None:
+        self.dtype = dtype
+
+    # -- arithmetic ------------------------------------------------------
+    def __add__(self, other):
+        return Add(self, as_expr(other))
+
+    def __radd__(self, other):
+        return Add(as_expr(other), self)
+
+    def __sub__(self, other):
+        return Sub(self, as_expr(other))
+
+    def __rsub__(self, other):
+        return Sub(as_expr(other), self)
+
+    def __mul__(self, other):
+        return Mul(self, as_expr(other))
+
+    def __rmul__(self, other):
+        return Mul(as_expr(other), self)
+
+    def __floordiv__(self, other):
+        return FloorDiv(self, as_expr(other))
+
+    def __rfloordiv__(self, other):
+        return FloorDiv(as_expr(other), self)
+
+    def __mod__(self, other):
+        return FloorMod(self, as_expr(other))
+
+    def __rmod__(self, other):
+        return FloorMod(as_expr(other), self)
+
+    def __neg__(self):
+        return Sub(const(0, self.dtype), self)
+
+    # -- comparisons (return IR nodes, not Python bools) -----------------
+    def __lt__(self, other):
+        return LT(self, as_expr(other))
+
+    def __le__(self, other):
+        return LE(self, as_expr(other))
+
+    def __gt__(self, other):
+        return GT(self, as_expr(other))
+
+    def __ge__(self, other):
+        return GE(self, as_expr(other))
+
+    def equal(self, other) -> "EQ":
+        """Build an equality comparison node (``==`` is kept for hashing)."""
+        return EQ(self, as_expr(other))
+
+    def not_equal(self, other) -> "NE":
+        return NE(self, as_expr(other))
+
+    # Identity-based equality/hash so nodes can live in dicts/sets.
+    def __eq__(self, other):  # pragma: no cover - trivial
+        return self is other
+
+    def __hash__(self):  # pragma: no cover - trivial
+        return id(self)
+
+    def __repr__(self) -> str:
+        from .printer import expr_to_str
+
+        return expr_to_str(self)
+
+
+class Var(PrimExpr):
+    """A scalar variable, e.g. a loop iterator or a host parameter."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str, dtype: str = "int32") -> None:
+        super().__init__(dtype)
+        self.name = name
+
+
+class IntImm(PrimExpr):
+    """Integer immediate."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int, dtype: str = "int32") -> None:
+        super().__init__(dtype)
+        self.value = int(value)
+
+
+class FloatImm(PrimExpr):
+    """Floating-point immediate."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float, dtype: str = "float32") -> None:
+        super().__init__(dtype)
+        self.value = float(value)
+
+
+class BinaryOp(PrimExpr):
+    """Common base for binary arithmetic nodes."""
+
+    __slots__ = ("a", "b")
+    op_name = "?"
+
+    def __init__(self, a, b, dtype: Optional[str] = None) -> None:
+        a = as_expr(a)
+        b = as_expr(b)
+        super().__init__(dtype or _result_dtype(a, b))
+        self.a = a
+        self.b = b
+
+
+class Add(BinaryOp):
+    op_name = "+"
+
+
+class Sub(BinaryOp):
+    op_name = "-"
+
+
+class Mul(BinaryOp):
+    op_name = "*"
+
+
+class FloorDiv(BinaryOp):
+    op_name = "//"
+
+
+class FloorMod(BinaryOp):
+    op_name = "%"
+
+
+class Min(BinaryOp):
+    op_name = "min"
+
+
+class Max(BinaryOp):
+    op_name = "max"
+
+
+class CmpOp(BinaryOp):
+    """Common base for comparisons; result dtype is ``bool``."""
+
+    def __init__(self, a, b) -> None:
+        super().__init__(a, b, dtype="bool")
+
+
+class LT(CmpOp):
+    op_name = "<"
+
+
+class LE(CmpOp):
+    op_name = "<="
+
+
+class GT(CmpOp):
+    op_name = ">"
+
+
+class GE(CmpOp):
+    op_name = ">="
+
+
+class EQ(CmpOp):
+    op_name = "=="
+
+
+class NE(CmpOp):
+    op_name = "!="
+
+
+class And(BinaryOp):
+    op_name = "&&"
+
+    def __init__(self, a, b) -> None:
+        super().__init__(a, b, dtype="bool")
+
+
+class Or(BinaryOp):
+    op_name = "||"
+
+    def __init__(self, a, b) -> None:
+        super().__init__(a, b, dtype="bool")
+
+
+class Not(PrimExpr):
+    """Boolean negation."""
+
+    __slots__ = ("a",)
+
+    def __init__(self, a) -> None:
+        super().__init__("bool")
+        self.a = as_expr(a)
+
+
+class Select(PrimExpr):
+    """``cond ? true_value : false_value`` without short-circuiting."""
+
+    __slots__ = ("cond", "true_value", "false_value")
+
+    def __init__(self, cond, true_value, false_value) -> None:
+        tv = as_expr(true_value)
+        fv = as_expr(false_value)
+        super().__init__(_result_dtype(tv, fv))
+        self.cond = as_expr(cond)
+        self.true_value = tv
+        self.false_value = fv
+
+
+class BufferLoad(PrimExpr):
+    """Read ``buffer[indices...]``."""
+
+    __slots__ = ("buffer", "indices")
+
+    def __init__(self, buffer, indices: Sequence[PrimExpr]) -> None:
+        super().__init__(buffer.dtype)
+        self.buffer = buffer
+        self.indices: Tuple[PrimExpr, ...] = tuple(as_expr(i) for i in indices)
+
+
+class Call(PrimExpr):
+    """Opaque intrinsic call, e.g. ``exp`` or a backend builtin."""
+
+    __slots__ = ("op", "args")
+
+    def __init__(self, op: str, args: Iterable, dtype: str = "float32") -> None:
+        super().__init__(dtype)
+        self.op = op
+        self.args = tuple(as_expr(a) for a in args)
+
+
+class Cast(PrimExpr):
+    """Convert ``value`` to ``dtype``."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value, dtype: str) -> None:
+        super().__init__(dtype)
+        self.value = as_expr(value)
+
+
+def const(value, dtype: str = "int32") -> PrimExpr:
+    """Make an immediate of the requested dtype."""
+    if dtype == "bool":
+        return IntImm(1 if value else 0, "bool")
+    if dtype.startswith("int") or dtype.startswith("uint"):
+        return IntImm(int(value), dtype)
+    return FloatImm(float(value), dtype)
+
+
+def as_expr(value) -> PrimExpr:
+    """Coerce a Python number (or pass through an expression) into IR."""
+    if isinstance(value, PrimExpr):
+        return value
+    if isinstance(value, bool):
+        return IntImm(1 if value else 0, "bool")
+    if isinstance(value, int):
+        return IntImm(value)
+    if isinstance(value, float):
+        return FloatImm(value)
+    raise TypeError(f"cannot convert {value!r} to PrimExpr")
+
+
+def all_of(conds: Sequence[PrimExpr]) -> Optional[PrimExpr]:
+    """Conjoin a list of boolean expressions; ``None`` if the list is empty."""
+    result: Optional[PrimExpr] = None
+    for cond in conds:
+        result = cond if result is None else And(result, cond)
+    return result
+
+
+def any_of(conds: Sequence[PrimExpr]) -> Optional[PrimExpr]:
+    """Disjoin a list of boolean expressions; ``None`` if the list is empty."""
+    result: Optional[PrimExpr] = None
+    for cond in conds:
+        result = cond if result is None else Or(result, cond)
+    return result

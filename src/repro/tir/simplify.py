@@ -1,0 +1,323 @@
+"""Expression simplification: constant folding plus affine normalization.
+
+The simplifier keeps lowered loop extents and boundary conditions in a
+canonical, mostly-affine form so that downstream analyses (interval
+analysis, loop-bound tightening, the timing walker) can reason about them.
+It is intentionally a rewriting simplifier, not a full solver.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from . import expr as E
+from .visitor import ExprMutator
+
+__all__ = ["simplify", "const_int", "is_const_int", "affine_coeffs", "prove_lt"]
+
+
+def const_int(expr: E.PrimExpr) -> Optional[int]:
+    """Return the integer value of ``expr`` if it is an integer immediate."""
+    if isinstance(expr, E.IntImm):
+        return expr.value
+    return None
+
+
+def is_const_int(expr: E.PrimExpr, value: Optional[int] = None) -> bool:
+    """Check whether ``expr`` is an integer immediate (optionally equal)."""
+    v = const_int(expr)
+    if v is None:
+        return False
+    return value is None or v == value
+
+
+def affine_coeffs(expr: E.PrimExpr) -> Optional[Tuple[Dict[E.Var, int], int]]:
+    """Decompose an integer expression as ``sum(c_i * v_i) + c0``.
+
+    Returns ``(coeffs, constant)`` or ``None`` if the expression is not
+    affine in its variables (e.g. contains ``//``, ``%``, ``min`` or loads).
+    """
+    coeffs: Dict[E.Var, int] = {}
+
+    def fail() -> None:
+        raise _NotAffine
+
+    def walk(node: E.PrimExpr, scale: int) -> int:
+        if isinstance(node, E.IntImm):
+            return node.value * scale
+        if isinstance(node, E.Var):
+            coeffs[node] = coeffs.get(node, 0) + scale
+            return 0
+        if isinstance(node, E.Add):
+            return walk(node.a, scale) + walk(node.b, scale)
+        if isinstance(node, E.Sub):
+            return walk(node.a, scale) + walk(node.b, -scale)
+        if isinstance(node, E.Mul):
+            ca = const_int(node.a)
+            cb = const_int(node.b)
+            if cb is not None:
+                return walk(node.a, scale * cb)
+            if ca is not None:
+                return walk(node.b, scale * ca)
+            fail()
+        fail()
+        return 0  # pragma: no cover
+
+    try:
+        constant = walk(expr, 1)
+    except _NotAffine:
+        return None
+    return {v: c for v, c in coeffs.items() if c != 0}, constant
+
+
+class _NotAffine(Exception):
+    pass
+
+
+class _Simplifier(ExprMutator):
+    """Bottom-up rewriting simplifier."""
+
+    def generic_visit(self, node: E.PrimExpr) -> E.PrimExpr:
+        node = super().generic_visit(node)
+        return _rewrite(node)
+
+
+def _int2(node: E.BinaryOp) -> Optional[Tuple[int, int]]:
+    a = const_int(node.a)
+    b = const_int(node.b)
+    if a is None or b is None:
+        if (
+            isinstance(node.a, E.FloatImm)
+            and isinstance(node.b, E.FloatImm)
+        ):
+            return None
+        return None
+    return a, b
+
+
+def _float2(node: E.BinaryOp) -> Optional[Tuple[float, float]]:
+    if isinstance(node.a, E.FloatImm) and isinstance(node.b, E.FloatImm):
+        return node.a.value, node.b.value
+    return None
+
+
+def _same_affine(a: E.PrimExpr, b: E.PrimExpr) -> bool:
+    """Structural equality via affine decomposition of ``a - b == 0``."""
+    dec = affine_coeffs(E.Sub(a, b))
+    return dec is not None and not dec[0] and dec[1] == 0
+
+
+def _rewrite(node: E.PrimExpr) -> E.PrimExpr:
+    # --- constant folding -----------------------------------------------
+    if isinstance(node, E.BinaryOp):
+        ints = _int2(node)
+        if ints is not None:
+            a, b = ints
+            folded = _fold_int(type(node), a, b)
+            if folded is not None:
+                return folded
+        floats = _float2(node)
+        if floats is not None:
+            a, b = floats
+            folded = _fold_float(type(node), a, b)
+            if folded is not None:
+                return folded
+
+    # --- affine canonicalization ------------------------------------------
+    # Rebuild +/-/* chains of integer terms in a canonical sum-of-products
+    # form so that syntactically different but equal index expressions
+    # (e.g. ``io*16 + ii - io*16``) collapse.
+    if (
+        isinstance(node, (E.Add, E.Sub, E.Mul))
+        and node.dtype.startswith("int")
+        and not _contains_opaque(node)
+    ):
+        dec = affine_coeffs(node)
+        if dec is not None:
+            rebuilt = _affine_rebuild(*dec)
+            if _expr_size(rebuilt) < _expr_size(node):
+                return rebuilt
+
+    # --- algebraic identities --------------------------------------------
+    if isinstance(node, E.Add):
+        if is_const_int(node.a, 0):
+            return node.b
+        if is_const_int(node.b, 0):
+            return node.a
+    elif isinstance(node, E.Sub):
+        if is_const_int(node.b, 0):
+            return node.a
+        if _same_affine_safe(node.a, node.b):
+            return E.IntImm(0)
+    elif isinstance(node, E.Mul):
+        if is_const_int(node.a, 0) or is_const_int(node.b, 0):
+            return E.IntImm(0)
+        if is_const_int(node.a, 1):
+            return node.b
+        if is_const_int(node.b, 1):
+            return node.a
+    elif isinstance(node, E.FloorDiv):
+        if is_const_int(node.b, 1):
+            return node.a
+        if is_const_int(node.a, 0):
+            return E.IntImm(0)
+    elif isinstance(node, E.FloorMod):
+        if is_const_int(node.b, 1):
+            return E.IntImm(0)
+        if is_const_int(node.a, 0):
+            return E.IntImm(0)
+    elif isinstance(node, (E.Min, E.Max)):
+        if _same_affine_safe(node.a, node.b):
+            return node.a
+    elif isinstance(node, E.And):
+        for x, y in ((node.a, node.b), (node.b, node.a)):
+            if is_const_int(x, 1):
+                return y
+            if is_const_int(x, 0):
+                return E.IntImm(0, "bool")
+    elif isinstance(node, E.Or):
+        for x, y in ((node.a, node.b), (node.b, node.a)):
+            if is_const_int(x, 0):
+                return y
+            if is_const_int(x, 1):
+                return E.IntImm(1, "bool")
+    elif isinstance(node, E.Not):
+        v = const_int(node.a)
+        if v is not None:
+            return E.IntImm(0 if v else 1, "bool")
+        if isinstance(node.a, E.Not):
+            return node.a.a
+    elif isinstance(node, E.Select):
+        v = const_int(node.cond)
+        if v is not None:
+            return node.true_value if v else node.false_value
+    elif isinstance(node, E.Cast):
+        if node.value.dtype == node.dtype:
+            return node.value
+        inner = node.value
+        if isinstance(inner, E.IntImm):
+            if node.dtype.startswith("float"):
+                return E.FloatImm(float(inner.value), node.dtype)
+            return E.IntImm(inner.value, node.dtype)
+
+    # comparisons between affine-equal operands
+    if isinstance(node, (E.LE, E.GE, E.EQ)) and _same_affine_safe(node.a, node.b):
+        return E.IntImm(1, "bool")
+    if isinstance(node, (E.LT, E.GT, E.NE)) and _same_affine_safe(node.a, node.b):
+        return E.IntImm(0, "bool")
+    return node
+
+
+def _contains_opaque(node: E.PrimExpr) -> bool:
+    """Whether the tree contains nodes affine_coeffs cannot decompose."""
+    from .visitor import post_order_exprs
+
+    for sub in post_order_exprs(node):
+        if not isinstance(sub, (E.Add, E.Sub, E.Mul, E.Var, E.IntImm)):
+            return True
+    return False
+
+
+def _affine_rebuild(coeffs, constant: int) -> E.PrimExpr:
+    """Canonical ``c1*v1 + ... + cn*vn + c0`` (vars ordered by name)."""
+    expr: Optional[E.PrimExpr] = None
+    for var in sorted(coeffs, key=lambda v: v.name):
+        c = coeffs[var]
+        term = var if c == 1 else E.Mul(var, E.IntImm(c))
+        expr = term if expr is None else E.Add(expr, term)
+    if expr is None:
+        return E.IntImm(constant)
+    if constant:
+        expr = E.Add(expr, E.IntImm(constant))
+    return expr
+
+
+def _expr_size(node: E.PrimExpr) -> int:
+    from .visitor import post_order_exprs
+
+    return sum(1 for _ in post_order_exprs(node))
+
+
+def _same_affine_safe(a: E.PrimExpr, b: E.PrimExpr) -> bool:
+    if a.dtype == "float32" or b.dtype == "float32":
+        return False
+    try:
+        return _same_affine(a, b)
+    except Exception:  # pragma: no cover - defensive
+        return False
+
+
+def _fold_int(op, a: int, b: int) -> Optional[E.PrimExpr]:
+    if op is E.Add:
+        return E.IntImm(a + b)
+    if op is E.Sub:
+        return E.IntImm(a - b)
+    if op is E.Mul:
+        return E.IntImm(a * b)
+    if op is E.FloorDiv:
+        return E.IntImm(a // b) if b != 0 else None
+    if op is E.FloorMod:
+        return E.IntImm(a % b) if b != 0 else None
+    if op is E.Min:
+        return E.IntImm(min(a, b))
+    if op is E.Max:
+        return E.IntImm(max(a, b))
+    if op is E.LT:
+        return E.IntImm(1 if a < b else 0, "bool")
+    if op is E.LE:
+        return E.IntImm(1 if a <= b else 0, "bool")
+    if op is E.GT:
+        return E.IntImm(1 if a > b else 0, "bool")
+    if op is E.GE:
+        return E.IntImm(1 if a >= b else 0, "bool")
+    if op is E.EQ:
+        return E.IntImm(1 if a == b else 0, "bool")
+    if op is E.NE:
+        return E.IntImm(1 if a != b else 0, "bool")
+    if op is E.And:
+        return E.IntImm(1 if (a and b) else 0, "bool")
+    if op is E.Or:
+        return E.IntImm(1 if (a or b) else 0, "bool")
+    return None
+
+
+def _fold_float(op, a: float, b: float) -> Optional[E.PrimExpr]:
+    if op is E.Add:
+        return E.FloatImm(a + b)
+    if op is E.Sub:
+        return E.FloatImm(a - b)
+    if op is E.Mul:
+        return E.FloatImm(a * b)
+    if op is E.Min:
+        return E.FloatImm(min(a, b))
+    if op is E.Max:
+        return E.FloatImm(max(a, b))
+    return None
+
+
+_SIMPLIFIER = _Simplifier()
+
+
+def simplify(expr: E.PrimExpr) -> E.PrimExpr:
+    """Simplify ``expr`` (constant folding + affine identities)."""
+    return _SIMPLIFIER.visit(expr)
+
+
+def prove_lt(lhs: E.PrimExpr, rhs: E.PrimExpr, var_ranges) -> Optional[bool]:
+    """Try to prove ``lhs < rhs`` given variable ranges.
+
+    ``var_ranges`` maps :class:`Var` → ``(min, extent)``.  Returns ``True``
+    (always), ``False`` (never) or ``None`` (depends on the iteration point).
+    Uses interval arithmetic; see :mod:`repro.tir.interval`.
+    """
+    from .interval import Interval, eval_interval
+
+    env = {v: Interval(lo, lo + ext - 1) for v, (lo, ext) in var_ranges.items()}
+    diff = eval_interval(E.Sub(lhs, rhs), env)
+    if diff is None:
+        return None
+    if diff.hi is not None and diff.hi < 0:
+        return True
+    if diff.lo is not None and diff.lo >= 0:
+        return False
+    return None

@@ -1,0 +1,253 @@
+"""Generic visitors and mutators over TIR expressions and statements."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from . import expr as E
+from . import stmt as S
+
+__all__ = [
+    "ExprVisitor",
+    "ExprMutator",
+    "StmtVisitor",
+    "StmtMutator",
+    "post_order_exprs",
+    "collect_vars",
+    "collect_loads",
+    "iter_stmts",
+]
+
+
+class ExprVisitor:
+    """Read-only traversal over expressions; override ``visit_*`` hooks."""
+
+    def visit(self, node: E.PrimExpr) -> None:
+        method = getattr(self, f"visit_{type(node).__name__}", None)
+        if method is not None:
+            method(node)
+        self.generic_visit(node)
+
+    def generic_visit(self, node: E.PrimExpr) -> None:
+        for child in expr_children(node):
+            self.visit(child)
+
+
+def expr_children(node: E.PrimExpr) -> List[E.PrimExpr]:
+    """Direct sub-expressions of ``node``."""
+    if isinstance(node, E.BinaryOp):
+        return [node.a, node.b]
+    if isinstance(node, E.Not):
+        return [node.a]
+    if isinstance(node, E.Select):
+        return [node.cond, node.true_value, node.false_value]
+    if isinstance(node, E.BufferLoad):
+        return list(node.indices)
+    if isinstance(node, E.Call):
+        return list(node.args)
+    if isinstance(node, E.Cast):
+        return [node.value]
+    return []
+
+
+class ExprMutator:
+    """Rebuilding traversal: ``visit`` returns a (possibly new) expression."""
+
+    def visit(self, node: E.PrimExpr) -> E.PrimExpr:
+        method = getattr(self, f"visit_{type(node).__name__}", None)
+        if method is not None:
+            result = method(node)
+            if result is not None:
+                return result
+        return self.generic_visit(node)
+
+    def generic_visit(self, node: E.PrimExpr) -> E.PrimExpr:
+        if isinstance(node, E.BinaryOp):
+            a = self.visit(node.a)
+            b = self.visit(node.b)
+            if a is node.a and b is node.b:
+                return node
+            return type(node)(a, b)
+        if isinstance(node, E.Not):
+            a = self.visit(node.a)
+            return node if a is node.a else E.Not(a)
+        if isinstance(node, E.Select):
+            c = self.visit(node.cond)
+            t = self.visit(node.true_value)
+            f = self.visit(node.false_value)
+            if c is node.cond and t is node.true_value and f is node.false_value:
+                return node
+            return E.Select(c, t, f)
+        if isinstance(node, E.BufferLoad):
+            idx = [self.visit(i) for i in node.indices]
+            if all(n is o for n, o in zip(idx, node.indices)):
+                return node
+            return E.BufferLoad(node.buffer, idx)
+        if isinstance(node, E.Call):
+            args = [self.visit(a) for a in node.args]
+            if all(n is o for n, o in zip(args, node.args)):
+                return node
+            return E.Call(node.op, args, node.dtype)
+        if isinstance(node, E.Cast):
+            v = self.visit(node.value)
+            return node if v is node.value else E.Cast(v, node.dtype)
+        return node
+
+
+class StmtVisitor(ExprVisitor):
+    """Read-only traversal over statements (and the expressions inside)."""
+
+    def visit_stmt(self, node: S.Stmt) -> None:
+        method = getattr(self, f"visit_{type(node).__name__}", None)
+        if method is not None:
+            method(node)
+        self.generic_visit_stmt(node)
+
+    def generic_visit_stmt(self, node: S.Stmt) -> None:
+        if isinstance(node, S.For):
+            self.visit(node.extent)
+            self.visit_stmt(node.body)
+        elif isinstance(node, S.IfThenElse):
+            self.visit(node.condition)
+            self.visit_stmt(node.then_case)
+            if node.else_case is not None:
+                self.visit_stmt(node.else_case)
+        elif isinstance(node, S.BufferStore):
+            self.visit(node.value)
+            for i in node.indices:
+                self.visit(i)
+        elif isinstance(node, S.SeqStmt):
+            for s in node.stmts:
+                self.visit_stmt(s)
+        elif isinstance(node, S.Allocate):
+            self.visit_stmt(node.body)
+        elif isinstance(node, S.Evaluate):
+            self.visit(node.call)
+        elif isinstance(node, S.DmaCopy):
+            for i in node.dst_base:
+                self.visit(i)
+            for i in node.src_base:
+                self.visit(i)
+
+
+class StmtMutator(ExprMutator):
+    """Rebuilding traversal over statements.
+
+    Hooks named ``visit_<NodeType>`` fully own their node: they must return
+    the replacement statement (``None`` deletes the statement) and call
+    :meth:`generic_visit_stmt` themselves if they want recursion.
+    """
+
+    def visit_stmt(self, node: S.Stmt) -> Optional[S.Stmt]:
+        method = getattr(self, f"visit_{type(node).__name__}", None)
+        if method is not None:
+            return method(node)
+        return self.generic_visit_stmt(node)
+
+    def generic_visit_stmt(self, node: S.Stmt) -> Optional[S.Stmt]:
+        if isinstance(node, S.For):
+            extent = self.visit(node.extent)
+            body = self.visit_stmt(node.body)
+            if body is None:
+                return None
+            if extent is node.extent and body is node.body:
+                return node
+            return S.For(node.var, extent, body, node.kind, node.thread_tag)
+        if isinstance(node, S.IfThenElse):
+            cond = self.visit(node.condition)
+            then_case = self.visit_stmt(node.then_case)
+            else_case = (
+                self.visit_stmt(node.else_case) if node.else_case is not None else None
+            )
+            if then_case is None and else_case is None:
+                return None
+            if then_case is None:
+                return S.IfThenElse(E.Not(cond), else_case)
+            if (
+                cond is node.condition
+                and then_case is node.then_case
+                and else_case is node.else_case
+            ):
+                return node
+            return S.IfThenElse(cond, then_case, else_case)
+        if isinstance(node, S.BufferStore):
+            value = self.visit(node.value)
+            indices = [self.visit(i) for i in node.indices]
+            if value is node.value and all(
+                n is o for n, o in zip(indices, node.indices)
+            ):
+                return node
+            return S.BufferStore(node.buffer, value, indices)
+        if isinstance(node, S.SeqStmt):
+            new_stmts = []
+            changed = False
+            for s in node.stmts:
+                ns = self.visit_stmt(s)
+                changed = changed or ns is not s
+                if ns is not None:
+                    new_stmts.append(ns)
+            if not changed:
+                return node
+            if not new_stmts:
+                return None
+            if len(new_stmts) == 1:
+                return new_stmts[0]
+            return S.SeqStmt(new_stmts)
+        if isinstance(node, S.Allocate):
+            body = self.visit_stmt(node.body)
+            if body is None:
+                return None
+            if body is node.body:
+                return node
+            return S.Allocate(node.buffer, body)
+        if isinstance(node, S.Evaluate):
+            call = self.visit(node.call)
+            if call is node.call:
+                return node
+            return S.Evaluate(call)
+        if isinstance(node, S.DmaCopy):
+            dst_base = [self.visit(i) for i in node.dst_base]
+            src_base = [self.visit(i) for i in node.src_base]
+            if all(n is o for n, o in zip(dst_base, node.dst_base)) and all(
+                n is o for n, o in zip(src_base, node.src_base)
+            ):
+                return node
+            return S.DmaCopy(node.dst, dst_base, node.src, src_base, node.size)
+        return node
+
+
+def post_order_exprs(node: E.PrimExpr) -> Iterator[E.PrimExpr]:
+    """Yield every sub-expression of ``node`` in post-order."""
+    for child in expr_children(node):
+        yield from post_order_exprs(child)
+    yield node
+
+
+def collect_vars(node: E.PrimExpr) -> List[E.Var]:
+    """All distinct :class:`Var` nodes in ``node`` (in first-seen order)."""
+    seen: List[E.Var] = []
+    for sub in post_order_exprs(node):
+        if isinstance(sub, E.Var) and sub not in seen:
+            seen.append(sub)
+    return seen
+
+
+def collect_loads(node: E.PrimExpr) -> List[E.BufferLoad]:
+    """All buffer loads in ``node``."""
+    return [s for s in post_order_exprs(node) if isinstance(s, E.BufferLoad)]
+
+
+def iter_stmts(node: S.Stmt) -> Iterator[S.Stmt]:
+    """Yield every statement in ``node`` in pre-order."""
+    yield node
+    if isinstance(node, S.For):
+        yield from iter_stmts(node.body)
+    elif isinstance(node, S.IfThenElse):
+        yield from iter_stmts(node.then_case)
+        if node.else_case is not None:
+            yield from iter_stmts(node.else_case)
+    elif isinstance(node, S.SeqStmt):
+        for s in node.stmts:
+            yield from iter_stmts(s)
+    elif isinstance(node, S.Allocate):
+        yield from iter_stmts(node.body)

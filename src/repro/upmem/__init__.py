@@ -1,0 +1,7 @@
+"""UPMEM system substrate: functional executor and performance model."""
+
+from .config import DEFAULT_CONFIG, UpmemConfig
+from .executor import FunctionalExecutor
+from .interp import Interpreter
+
+__all__ = ["UpmemConfig", "DEFAULT_CONFIG", "FunctionalExecutor", "Interpreter"]

@@ -1,0 +1,210 @@
+"""A scalar TIR interpreter used for functional validation.
+
+Interprets lowered host/kernel statements against numpy-backed buffers.
+It is intentionally simple (and slow): correctness tests run it on small
+shapes to validate the whole compilation pipeline; timing comes from the
+analytical walker in :mod:`repro.upmem.analyzer` instead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..tir import (
+    Add,
+    Allocate,
+    And,
+    Buffer,
+    BufferLoad,
+    BufferStore,
+    Call,
+    Cast,
+    CmpOp,
+    DmaCopy,
+    EQ,
+    Evaluate,
+    FloatImm,
+    FloorDiv,
+    FloorMod,
+    For,
+    GE,
+    GT,
+    IfThenElse,
+    IntImm,
+    LE,
+    LT,
+    Max,
+    Min,
+    Mul,
+    NE,
+    Not,
+    Or,
+    PrimExpr,
+    Select,
+    SeqStmt,
+    Stmt,
+    Sub,
+    Var,
+)
+
+__all__ = ["Interpreter", "InterpError"]
+
+
+class InterpError(RuntimeError):
+    """Raised on out-of-model constructs or out-of-bounds accesses."""
+
+
+class Interpreter:
+    """Executes statements over a ``Buffer -> np.ndarray`` store."""
+
+    def __init__(self, arrays: Dict[Buffer, np.ndarray]) -> None:
+        self.arrays = arrays
+
+    # -- expressions ---------------------------------------------------------
+    def eval(self, expr: PrimExpr, env: Dict[Var, int]):
+        if isinstance(expr, IntImm):
+            return expr.value
+        if isinstance(expr, FloatImm):
+            return expr.value
+        if isinstance(expr, Var):
+            try:
+                return env[expr]
+            except KeyError:
+                raise InterpError(f"unbound variable {expr.name}") from None
+        if isinstance(expr, Add):
+            return self.eval(expr.a, env) + self.eval(expr.b, env)
+        if isinstance(expr, Sub):
+            return self.eval(expr.a, env) - self.eval(expr.b, env)
+        if isinstance(expr, Mul):
+            return self.eval(expr.a, env) * self.eval(expr.b, env)
+        if isinstance(expr, FloorDiv):
+            return self.eval(expr.a, env) // self.eval(expr.b, env)
+        if isinstance(expr, FloorMod):
+            return self.eval(expr.a, env) % self.eval(expr.b, env)
+        if isinstance(expr, Min):
+            return min(self.eval(expr.a, env), self.eval(expr.b, env))
+        if isinstance(expr, Max):
+            return max(self.eval(expr.a, env), self.eval(expr.b, env))
+        if isinstance(expr, CmpOp):
+            a = self.eval(expr.a, env)
+            b = self.eval(expr.b, env)
+            if isinstance(expr, LT):
+                return a < b
+            if isinstance(expr, LE):
+                return a <= b
+            if isinstance(expr, GT):
+                return a > b
+            if isinstance(expr, GE):
+                return a >= b
+            if isinstance(expr, EQ):
+                return a == b
+            if isinstance(expr, NE):
+                return a != b
+        if isinstance(expr, And):
+            return bool(self.eval(expr.a, env)) and bool(self.eval(expr.b, env))
+        if isinstance(expr, Or):
+            return bool(self.eval(expr.a, env)) or bool(self.eval(expr.b, env))
+        if isinstance(expr, Not):
+            return not self.eval(expr.a, env)
+        if isinstance(expr, Select):
+            if self.eval(expr.cond, env):
+                return self.eval(expr.true_value, env)
+            return self.eval(expr.false_value, env)
+        if isinstance(expr, BufferLoad):
+            arr = self._array(expr.buffer)
+            idx = tuple(int(self.eval(i, env)) for i in expr.indices)
+            self._check(expr.buffer, idx)
+            return arr[idx]
+        if isinstance(expr, Cast):
+            value = self.eval(expr.value, env)
+            if expr.dtype.startswith("int"):
+                return int(value)
+            return float(value)
+        if isinstance(expr, Call):
+            return self._call(expr, env)
+        raise InterpError(f"cannot evaluate {type(expr).__name__}")
+
+    def _call(self, expr: Call, env):
+        args = [self.eval(a, env) for a in expr.args]
+        import math
+
+        table = {"exp": math.exp, "sqrt": math.sqrt, "abs": abs}
+        fn = table.get(expr.op)
+        if fn is None:
+            raise InterpError(f"unknown intrinsic {expr.op!r}")
+        return fn(*args)
+
+    # -- statements ---------------------------------------------------------
+    def run(self, stmt: Stmt, env: Dict[Var, int]) -> None:
+        if isinstance(stmt, SeqStmt):
+            for s in stmt.stmts:
+                self.run(s, env)
+        elif isinstance(stmt, For):
+            extent = int(self.eval(stmt.extent, env))
+            for value in range(extent):
+                env[stmt.var] = value
+                self.run(stmt.body, env)
+            env.pop(stmt.var, None)
+        elif isinstance(stmt, IfThenElse):
+            if self.eval(stmt.condition, env):
+                self.run(stmt.then_case, env)
+            elif stmt.else_case is not None:
+                self.run(stmt.else_case, env)
+        elif isinstance(stmt, BufferStore):
+            arr = self._array(stmt.buffer)
+            idx = tuple(int(self.eval(i, env)) for i in stmt.indices)
+            self._check(stmt.buffer, idx)
+            arr[idx] = self.eval(stmt.value, env)
+        elif isinstance(stmt, DmaCopy):
+            self._dma(stmt, env)
+        elif isinstance(stmt, Allocate):
+            self.arrays.setdefault(
+                stmt.buffer, np.zeros(stmt.buffer.shape, _np_dtype(stmt.buffer))
+            )
+            self.run(stmt.body, env)
+        elif isinstance(stmt, Evaluate):
+            if stmt.call.op == "barrier":
+                return  # tasklets are interpreted serially
+            self.eval(stmt.call, env)
+        else:
+            raise InterpError(f"cannot execute {type(stmt).__name__}")
+
+    def _dma(self, stmt: DmaCopy, env) -> None:
+        dst = self._array(stmt.dst)
+        src = self._array(stmt.src)
+        dst_base = tuple(int(self.eval(i, env)) for i in stmt.dst_base)
+        src_base = tuple(int(self.eval(i, env)) for i in stmt.src_base)
+        n = stmt.size
+        dst_flat = dst.reshape(-1)
+        src_flat = src.reshape(-1)
+        doff = int(np.ravel_multi_index(dst_base, dst.shape, mode="clip"))
+        soff = int(np.ravel_multi_index(src_base, src.shape, mode="clip"))
+        # DMA may legally over-read/over-write within the locally padded
+        # tile; clamp to the physical buffers (the pad) like hardware
+        # clamps to the MRAM tile allocation.
+        n_eff = min(n, dst_flat.size - doff, src_flat.size - soff)
+        if n_eff < 0:
+            raise InterpError("DMA base outside buffer")
+        dst_flat[doff : doff + n_eff] = src_flat[soff : soff + n_eff]
+
+    # -- helpers ---------------------------------------------------------------
+    def _array(self, buffer: Buffer) -> np.ndarray:
+        arr = self.arrays.get(buffer)
+        if arr is None:
+            arr = np.zeros(buffer.shape, _np_dtype(buffer))
+            self.arrays[buffer] = arr
+        return arr
+
+    def _check(self, buffer: Buffer, idx) -> None:
+        for i, extent in zip(idx, buffer.shape):
+            if i < 0 or i >= extent:
+                raise InterpError(
+                    f"index {idx} out of bounds for {buffer!r}"
+                )
+
+
+def _np_dtype(buffer: Buffer):
+    return {"float32": np.float32, "float64": np.float64, "int32": np.int64,
+            "int64": np.int64, "bool": np.bool_}.get(buffer.dtype, np.float32)

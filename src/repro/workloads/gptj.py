@@ -1,0 +1,68 @@
+"""GPT-J layer shapes evaluated in the paper (§6, Fig. 10).
+
+The MHA layer contributes MMTV operations shaped
+``(batch × heads, tokens, 256)``; the FC layer contributes four MTV
+operations (QKV generation, QKV projection, FC, FC projection).
+GPT-J 6B has 16 heads with d_model 4096; the paper's "30B" configuration
+uses 28 heads with d_model 7168.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from .tensor_ops import Workload, mmtv, mtv
+
+__all__ = ["GPTJConfig", "GPTJ_6B", "GPTJ_30B", "mha_mmtv", "fc_mtv", "fc_shapes"]
+
+
+@dataclass(frozen=True)
+class GPTJConfig:
+    name: str
+    n_heads: int
+    d_model: int
+    head_dim: int = 256
+
+    @property
+    def d_ff(self) -> int:
+        return 4 * self.d_model
+
+
+GPTJ_6B = GPTJConfig("gptj-6b", n_heads=16, d_model=4096)
+GPTJ_30B = GPTJConfig("gptj-30b", n_heads=28, d_model=7168)
+
+
+def mha_mmtv(config: GPTJConfig, batch: int, tokens: int) -> Workload:
+    """The attention score/value MMTV of the MHA layer."""
+    wl = mmtv(batch * config.n_heads, tokens, config.head_dim)
+    wl.params.update(
+        {"model": config.name, "batch": batch, "tokens": tokens}  # type: ignore[arg-type]
+    )
+    return wl
+
+
+def fc_shapes(config: GPTJConfig) -> List[Tuple[str, int, int]]:
+    """The four FC-layer MTV shapes (name, rows M, reduction K).
+
+    Matches the paper's Fig. 10(b)/(d) columns — for GPT-J 6B:
+    4096×4096 (QKV projection), 12288×4096 (QKV generation, 3·d),
+    16384×4096 (FC, 4·d) and 4096×16384 (FC projection, transposed FC).
+    """
+    d = config.d_model
+    return [
+        ("qkv_proj", d, d),
+        ("qkv_gen", 3 * d, d),
+        ("fc", 4 * d, d),
+        ("fc_proj", d, 4 * d),
+    ]
+
+
+def fc_mtv(config: GPTJConfig, which: str) -> Workload:
+    """One of the FC-layer MTV operations by name."""
+    for name, m, k in fc_shapes(config):
+        if name == which:
+            wl = mtv(m, k)
+            wl.params.update({"model": config.name, "layer": which})  # type: ignore[arg-type]
+            return wl
+    raise KeyError(f"unknown FC layer {which!r}")

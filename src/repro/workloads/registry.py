@@ -1,0 +1,80 @@
+"""Standard workload instances: the paper's 4/64/256/512 MB size classes.
+
+Sizes follow Fig. 9's annotations (e.g. MTV 64 MB = 4096×4096 float32,
+RED 512 MB = 67,108,864 elements ... the paper's RED sizes are halved
+relative to VA because RED streams a single tensor).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from .tensor_ops import Workload, geva, gemv, mmtv, mtv, red, ttv, va
+
+__all__ = ["SIZED_WORKLOADS", "make_workload", "workload_names", "size_labels"]
+
+# name -> size label -> constructor arguments
+SIZED_WORKLOADS: Dict[str, Dict[str, Tuple[int, ...]]] = {
+    "va": {"4MB": (1048576,), "64MB": (16777216,), "256MB": (67108864,)},
+    "geva": {"4MB": (1048576,), "64MB": (16777216,), "256MB": (67108864,)},
+    "red": {
+        "4MB": (524288,),
+        "64MB": (8388608,),
+        "256MB": (34554432,),
+        "512MB": (67108864,),
+    },
+    "mtv": {
+        "4MB": (1024, 1024),
+        "64MB": (4096, 4096),
+        "256MB": (8192, 8192),
+        "512MB": (8192, 16384),
+    },
+    "gemv": {
+        "4MB": (1024, 1024),
+        "64MB": (4096, 4096),
+        "256MB": (8192, 8192),
+        "512MB": (8192, 16384),
+    },
+    "ttv": {
+        "4MB": (32, 64, 512),
+        "64MB": (128, 256, 512),
+        "256MB": (256, 512, 512),
+        "512MB": (512, 512, 512),
+    },
+    "mmtv": {
+        "4MB": (32, 64, 512),
+        "64MB": (128, 256, 512),
+        "256MB": (256, 512, 512),
+        "512MB": (512, 512, 512),
+    },
+}
+
+_FACTORIES: Dict[str, Callable[..., Workload]] = {
+    "va": va,
+    "geva": geva,
+    "red": red,
+    "mtv": mtv,
+    "gemv": gemv,
+    "ttv": ttv,
+    "mmtv": mmtv,
+}
+
+
+def make_workload(name: str, size: str) -> Workload:
+    """Instantiate a standard workload, e.g. ``make_workload("mtv", "64MB")``."""
+    try:
+        args = SIZED_WORKLOADS[name][size]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload/size {name!r}/{size!r};"
+            f" sizes for {name!r}: {list(SIZED_WORKLOADS.get(name, {}))}"
+        ) from None
+    return _FACTORIES[name](*args)
+
+
+def workload_names() -> List[str]:
+    return list(SIZED_WORKLOADS)
+
+
+def size_labels(name: str) -> List[str]:
+    return list(SIZED_WORKLOADS[name])

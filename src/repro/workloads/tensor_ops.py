@@ -1,0 +1,209 @@
+"""The paper's benchmark tensor operations (§6).
+
+Each factory returns a :class:`Workload` bundling the TE graph, a numpy
+reference implementation, and bookkeeping (flop count, footprint) used by
+the harness.  Sizes follow the paper: workloads are parameterized by their
+logical dimensions, with the standard 4/64/256/512 MB instances defined in
+:mod:`repro.workloads.registry`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+from .. import te
+from ..te import Tensor
+
+__all__ = [
+    "Workload",
+    "va",
+    "geva",
+    "red",
+    "mtv",
+    "gemv",
+    "ttv",
+    "mmtv",
+]
+
+
+@dataclass
+class Workload:
+    """A tensor program instance to compile and evaluate."""
+
+    name: str
+    inputs: List[Tensor]
+    output: Tensor
+    reference: Callable[..., np.ndarray]
+    flops: float
+    shape: Tuple[int, ...]
+    #: Reduction extent (0 for element-wise ops) — drives sketch choice.
+    reduce_extent: int = 0
+    params: Dict[str, int] = field(default_factory=dict)
+    #: Names of inputs resident in PIM memory across runs (weights, the
+    #: KV cache): the paper's "constant tensors ... transferred once
+    #: before kernel launches" (§5.4).
+    const_inputs: frozenset = frozenset()
+
+    @property
+    def bytes_in(self) -> int:
+        return sum(t.buffer.nbytes for t in self.inputs)
+
+    @property
+    def bytes_out(self) -> int:
+        return self.output.buffer.nbytes
+
+    @property
+    def footprint_mb(self) -> float:
+        return (self.bytes_in + self.bytes_out) / (1024.0 * 1024.0)
+
+    def random_inputs(self, seed: int = 0) -> Dict[str, np.ndarray]:
+        rng = np.random.default_rng(seed)
+        return {
+            t.name: rng.random(t.shape, dtype=np.float32)
+            for t in self.inputs
+        }
+
+    def reference_output(self, inputs: Dict[str, np.ndarray]) -> np.ndarray:
+        return self.reference(*[inputs[t.name] for t in self.inputs])
+
+
+def va(n: int) -> Workload:
+    """Vector addition: ``C(i) = A(i) + B(i)``."""
+    A = te.placeholder((n,), "float32", "A")
+    B = te.placeholder((n,), "float32", "B")
+    C = te.compute((n,), lambda i: A[i] + B[i], "C")
+    return Workload(
+        name="va",
+        inputs=[A, B],
+        output=C,
+        reference=lambda a, b: a + b,
+        flops=float(n),
+        shape=(n,),
+        params={"n": n},
+    )
+
+
+def geva(n: int, c: float = 2.0, d: float = 3.0) -> Workload:
+    """General vector addition: ``C(i) = c*A(i) + d*B(i)``."""
+    A = te.placeholder((n,), "float32", "A")
+    B = te.placeholder((n,), "float32", "B")
+    C = te.compute((n,), lambda i: A[i] * c + B[i] * d, "C")
+    return Workload(
+        name="geva",
+        inputs=[A, B],
+        output=C,
+        reference=lambda a, b: c * a + d * b,
+        flops=3.0 * n,
+        shape=(n,),
+        params={"n": n},
+    )
+
+
+def red(n: int) -> Workload:
+    """Reduction: ``b = sum_i A(i)``."""
+    A = te.placeholder((n,), "float32", "A")
+    k = te.reduce_axis(n, "k")
+    C = te.compute((1,), lambda i: te.sum(A[k], axis=k), "C")
+    return Workload(
+        name="red",
+        inputs=[A],
+        output=C,
+        reference=lambda a: np.asarray([a.sum()], dtype=np.float64),
+        flops=float(n),
+        shape=(n,),
+        reduce_extent=n,
+        params={"n": n},
+    )
+
+
+def mtv(m: int, k: int) -> Workload:
+    """Matrix-vector product: ``C(i) = sum_j A(i,j) * B(j)``."""
+    A = te.placeholder((m, k), "float32", "A")
+    B = te.placeholder((k,), "float32", "B")
+    kk = te.reduce_axis(k, "k")
+    C = te.compute((m,), lambda i: te.sum(A[i, kk] * B[kk], axis=kk), "C")
+    return Workload(
+        name="mtv",
+        inputs=[A, B],
+        output=C,
+        reference=lambda a, b: a @ b,
+        flops=2.0 * m * k,
+        shape=(m, k),
+        reduce_extent=k,
+        params={"m": m, "k": k},
+        const_inputs=frozenset({"A"}),
+    )
+
+
+def gemv(m: int, k: int, c: float = 2.0) -> Workload:
+    """Scaled matrix-vector product: ``C(i) = c * sum_j A(i,j) * B(j)``.
+
+    The scale is folded into the reduction body (matching the PrIM-style
+    formulation where the constant multiplies every product).
+    """
+    A = te.placeholder((m, k), "float32", "A")
+    B = te.placeholder((k,), "float32", "B")
+    kk = te.reduce_axis(k, "k")
+    C = te.compute(
+        (m,), lambda i: te.sum(A[i, kk] * B[kk] * c, axis=kk), "C"
+    )
+    return Workload(
+        name="gemv",
+        inputs=[A, B],
+        output=C,
+        reference=lambda a, b: c * (a @ b),
+        flops=3.0 * m * k,
+        shape=(m, k),
+        reduce_extent=k,
+        params={"m": m, "k": k},
+        const_inputs=frozenset({"A"}),
+    )
+
+
+def ttv(m: int, n: int, k: int) -> Workload:
+    """Tensor-times-vector: ``C(i,j) = sum_l A(i,j,l) * B(l)``."""
+    A = te.placeholder((m, n, k), "float32", "A")
+    B = te.placeholder((k,), "float32", "B")
+    kk = te.reduce_axis(k, "k")
+    C = te.compute(
+        (m, n), lambda i, j: te.sum(A[i, j, kk] * B[kk], axis=kk), "C"
+    )
+    return Workload(
+        name="ttv",
+        inputs=[A, B],
+        output=C,
+        reference=lambda a, b: a @ b,
+        flops=2.0 * m * n * k,
+        shape=(m, n, k),
+        reduce_extent=k,
+        params={"m": m, "n": n, "k": k},
+        const_inputs=frozenset({"A"}),
+    )
+
+
+def mmtv(m: int, n: int, k: int) -> Workload:
+    """Batched matrix-vector: ``C(i,j) = sum_l A(i,j,l) * B(i,l)``.
+
+    This is the multi-head-attention shape: ``m`` = batch × heads,
+    ``n`` = tokens, ``k`` = head dimension.
+    """
+    A = te.placeholder((m, n, k), "float32", "A")
+    B = te.placeholder((m, k), "float32", "B")
+    kk = te.reduce_axis(k, "k")
+    C = te.compute(
+        (m, n), lambda i, j: te.sum(A[i, j, kk] * B[i, kk], axis=kk), "C"
+    )
+    return Workload(
+        name="mmtv",
+        inputs=[A, B],
+        output=C,
+        reference=lambda a, b: np.einsum("ijl,il->ij", a, b),
+        flops=2.0 * m * n * k,
+        shape=(m, n, k),
+        reduce_extent=k,
+        params={"m": m, "n": n, "k": k},
+        const_inputs=frozenset({"A"}),
+    )

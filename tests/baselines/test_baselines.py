@@ -1,0 +1,103 @@
+"""PrIM / SimplePIM / CPU baselines: structure and documented behaviours."""
+
+import pytest
+
+from repro.baselines import (
+    CpuModel,
+    GpuModel,
+    cpu_latency,
+    prim_e_profile,
+    prim_module,
+    prim_params,
+    prim_profile,
+    prim_search_profile,
+    simplepim_profile,
+)
+from repro.workloads import make_workload, mtv, red, ttv, va
+
+
+class TestPrimParams:
+    def test_table3_defaults(self):
+        wl = make_workload("mtv", "64MB")
+        params = prim_params(wl, size="64MB")
+        assert params["m_dpus"] == 256
+        assert params["k_dpus"] == 1  # PrIM never tiles the reduction
+        assert params["n_tasklets"] == 16
+        assert params["cache"] == 256  # 1024 bytes
+
+    def test_red_ships_tasklet_partials(self):
+        params = prim_params(make_workload("red", "64MB"), size="64MB")
+        assert params["dpu_combine"] == 0
+
+    def test_va_uses_full_system(self):
+        params = prim_params(make_workload("va", "64MB"), size="64MB")
+        assert params["n_dpus"] == 2048
+
+    def test_fallback_without_size(self):
+        params = prim_params(mtv(4096, 4096))
+        assert 64 <= params["m_dpus"] <= 512
+
+    def test_batched_splits_grid(self):
+        wl = ttv(128, 256, 512)
+        params = prim_params(wl, n_dpus=1024)
+        assert params["i_dpus"] * params["j_dpus"] <= 1024
+        assert params["k_dpus"] == 1
+
+
+class TestPrimProfiles:
+    def test_prim_module_builds(self):
+        wl = mtv(1024, 1024)
+        module = prim_module(wl, "4MB")
+        assert module.n_dpus == 256
+
+    def test_prim_e_not_worse_than_prim(self):
+        wl = make_workload("mtv", "64MB")
+        prim = prim_profile(wl, "64MB")
+        prim_e = prim_e_profile(wl)
+        assert prim_e.latency.total <= prim.latency.total * 1.001
+
+    def test_prim_search_not_worse_than_prim_e(self):
+        wl = make_workload("mtv", "4MB")
+        prim_e = prim_e_profile(wl)
+        prim_s, params = prim_search_profile(wl)
+        assert prim_s.latency.total <= prim_e.latency.total * 1.001
+        assert params["k_dpus"] == 1
+
+
+class TestSimplePim:
+    def test_va_d2h_penalty(self):
+        wl = make_workload("va", "64MB")
+        sp = simplepim_profile(wl)
+        prim = prim_profile(wl, "64MB")
+        assert sp.latency.d2h > prim.latency.d2h * 2
+
+    def test_red_supported(self):
+        wl = make_workload("red", "4MB")
+        sp = simplepim_profile(wl)
+        assert sp.latency.total > 0
+
+    def test_unsupported_workload_rejected(self):
+        with pytest.raises(KeyError):
+            simplepim_profile(mtv(64, 64))
+
+
+class TestCpuGpu:
+    def test_memory_bound_scaling(self):
+        small = cpu_latency(make_workload("va", "4MB"))
+        big = cpu_latency(make_workload("va", "256MB"))
+        assert big > small * 30  # linear in bytes minus fixed overhead
+
+    def test_boundary_check_penalty_small(self):
+        cpu = CpuModel()
+        wl = mtv(512, 512)
+        ratio = cpu.latency(wl, True) / cpu.latency(wl, False)
+        assert 1.0 < ratio < 1.05
+
+    def test_gpu_faster_than_cpu(self):
+        wl = make_workload("mtv", "64MB")
+        assert GpuModel().latency(wl) < CpuModel().latency(wl)
+
+    def test_compute_bound_floor(self):
+        # A tiny workload is dominated by fixed overhead.
+        wl = va(16)
+        assert cpu_latency(wl) >= CpuModel().overhead_s

@@ -1,0 +1,36 @@
+"""The `python -m repro.harness` CLI."""
+
+import pytest
+
+from repro.harness.__main__ import EXPERIMENTS, main
+
+
+def test_experiment_list_covers_all_figures():
+    assert set(EXPERIMENTS) == {
+        "fig3a", "fig3b", "fig3c", "fig4", "fig9", "tab3", "fig10",
+        "fig11", "fig12", "fig13", "fig14", "fig15",
+    }
+
+
+def test_fig3a_runs(capsys):
+    assert main(["fig3a"]) == 0
+    out = capsys.readouterr().out
+    assert "Fig 3a" in out and "cache_elems" in out
+
+
+def test_fig13_runs(capsys):
+    assert main(["fig13"]) == 0
+    out = capsys.readouterr().out
+    assert "issuable" in out
+
+
+def test_fig9_with_filters(capsys):
+    assert main(["fig9", "--workloads", "red", "--sizes", "4MB",
+                 "--trials", "8"]) == 0
+    out = capsys.readouterr().out
+    assert "red" in out
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        main(["fig99"])

@@ -1,0 +1,123 @@
+"""Experiment drivers produce sane, paper-shaped rows (small settings)."""
+
+import pytest
+
+from repro.harness import (
+    fig3a_cache_tile_sweep,
+    fig3b_tiling_schemes,
+    fig3c_dpu_sweep,
+    fig4_boundary_checks,
+    fig9_tensor_ops,
+    fig11_mmtv_scaling,
+    fig12_pim_opts,
+    fig13_breakdown,
+    fig14_search_strategies,
+    fig15_tuning_overhead,
+    render_curve,
+    render_table,
+    summarize_speedups,
+)
+
+
+class TestMotivation:
+    def test_fig3a_small_tiles_penalized(self):
+        rows = fig3a_cache_tile_sweep(tiles=(4, 64))
+        by_tile = {r["cache_elems"]: r["kernel_ms"] for r in rows}
+        assert by_tile[4] > by_tile[64]  # DMA-setup-dominated at 4 elems
+
+    def test_fig3b_has_tradeoff(self):
+        rows = fig3b_tiling_schemes(m=2048, k=2048, n_dpus=256)
+        assert len(rows) >= 3
+        totals = [r["total_ms"] for r in rows]
+        # Not monotone: a middle tiling wins (2-D beats extreme 1-D).
+        best = min(range(len(totals)), key=totals.__getitem__)
+        assert 0 < best or totals[0] <= totals[-1]
+
+    def test_fig3c_small_tensor_prefers_fewer_dpus(self):
+        rows = fig3c_dpu_sweep(m=512, k=512, dpu_counts=(64, 512))
+        assert {r["n_dpus"] for r in rows} == {64, 512}
+
+    def test_fig4_upmem_gains_dominate(self):
+        rows = fig4_boundary_checks(sizes=[(542, 542)])
+        row = rows[0]
+        assert row["upmem_speedup"] > 1.1
+        assert row["cpu_speedup"] < 1.05
+        assert row["gpu_speedup"] < 1.02
+
+
+class TestMainResults:
+    @pytest.fixture(scope="class")
+    def fig9_rows(self):
+        return fig9_tensor_ops(
+            workloads=["mtv", "red"], sizes=["64MB"], n_trials=24
+        )
+
+    def test_fig9_atim_wins(self, fig9_rows):
+        for row in fig9_rows:
+            assert row["atim_speedup_vs_prim"] >= 1.0
+
+    def test_fig9_simplepim_only_for_supported(self, fig9_rows):
+        by_wl = {r["workload"]: r for r in fig9_rows}
+        assert "simplepim_ms" in by_wl["red"]
+        assert "simplepim_ms" not in by_wl["mtv"]
+
+    def test_fig9_summary(self, fig9_rows):
+        summary = summarize_speedups(fig9_rows, "atim_speedup_vs_prim")
+        assert summary["gmean"] >= 1.0
+
+    def test_fig11_speedups_larger_for_small_spatial(self):
+        rows = fig11_mmtv_scaling(
+            spatial_sizes=[(8, 32), (64, 128)], k=256, n_trials=16
+        )
+        assert rows[0]["speedup_vs_prim"] >= rows[-1]["speedup_vs_prim"] * 0.5
+
+
+class TestOptAblation:
+    def test_fig12_o3_never_slower(self):
+        rows = fig12_pim_opts(lengths=(91,), va_lengths=(2,))
+        for row in rows:
+            assert row["kernel_ms_O3"] <= row["kernel_ms_O0"] * 1.001
+
+    def test_fig13_instructions_decrease(self):
+        rows = fig13_breakdown(gemv_shape=(61, 61), va_len=5000)
+        gemv_rows = [r for r in rows if r["case"].startswith("gemv")]
+        instrs = [r["instructions_norm"] for r in gemv_rows]
+        assert instrs == sorted(instrs, reverse=True)
+
+    def test_fig13_fractions_valid(self):
+        rows = fig13_breakdown(gemv_shape=(61, 61), va_len=5000)
+        for row in rows:
+            total = row["issuable"] + row["idle_memory"] + row["idle_core"]
+            assert total == pytest.approx(1.0, abs=1e-6)
+
+
+class TestSearchExperiments:
+    def test_fig14_curves_returned(self):
+        curves = fig14_search_strategies(m=512, k=512, n_trials=24)
+        assert set(curves) == {
+            "default_tvm", "balanced_sampling", "adaptive_epsilon", "atim"
+        }
+        for curve in curves.values():
+            assert curve[-1][1] >= curve[0][1]
+
+    def test_fig15_outputs(self):
+        data = fig15_tuning_overhead(m=512, k=512, n_trials=16)
+        assert data["upmem_measured"]
+        assert data["cpu_measured"]
+        assert max(data["upmem_measured"]) >= data["upmem_best"][0]
+
+
+class TestReporting:
+    def test_render_table(self):
+        text = render_table([{"a": 1, "b": 2.5}], title="T")
+        assert "T" in text and "a" in text and "2.5" in text
+
+    def test_render_table_empty(self):
+        assert "(no rows)" in render_table([], title="x")
+
+    def test_render_curve(self):
+        text = render_curve([(1, 1.0), (2, 2.0)], title="C")
+        assert "C" in text and "#" in text
+
+    def test_summarize_empty(self):
+        assert summarize_speedups([], "x")["gmean"] == 0.0

@@ -1,0 +1,51 @@
+"""HBM-PIM extension sketch (paper §8)."""
+
+import pytest
+
+from repro.autotune.compile import compile_params
+from repro.extensions.hbm_pim import HbmPimConfig, HbmPimEstimator
+from repro.workloads import mtv
+
+
+@pytest.fixture
+def module():
+    wl = mtv(1024, 1024)
+    return compile_params(
+        wl,
+        {"m_dpus": 64, "k_dpus": 4, "n_tasklets": 16, "cache": 64,
+         "host_threads": 16},
+        check=False,
+    )
+
+
+class TestHbmPim:
+    def test_pu_count(self):
+        cfg = HbmPimConfig()
+        assert cfg.n_pus == 64 * 16 // 2
+
+    def test_estimate_positive(self, module):
+        est = HbmPimEstimator().estimate(module, total_macs=1024 * 1024)
+        assert est.supported
+        assert est.latency_s > 0
+        assert est.commands_per_pu > 0
+
+    def test_latency_scales_with_work(self, module):
+        est = HbmPimEstimator()
+        small = est.estimate(module, total_macs=1024 * 1024)
+        big = est.estimate(module, total_macs=16 * 1024 * 1024)
+        assert big.latency_s > small.latency_s
+
+    def test_more_pus_faster(self, module):
+        small_sys = HbmPimEstimator(HbmPimConfig(n_pseudo_channels=8))
+        big_sys = HbmPimEstimator(HbmPimConfig(n_pseudo_channels=64))
+        macs = 64 * 1024 * 1024
+        assert (
+            big_sys.estimate(module, macs).latency_s
+            < small_sys.estimate(module, macs).latency_s
+        )
+
+    def test_mac_only_support(self):
+        est = HbmPimEstimator()
+        assert est.supports("add")
+        assert not est.supports("max")
+        assert not est.supports(None)

@@ -1,0 +1,65 @@
+"""Sweep every registered workload/size through compile + profile.
+
+Ensures the seeded default schedule for each paper instance lowers,
+verifies, and produces a self-consistent latency breakdown — catching
+regressions anywhere in the sketch → lower → optimize → model chain.
+"""
+
+import pytest
+
+from repro.autotune import Tuner
+from repro.upmem.system import PerformanceModel
+from repro.workloads import SIZED_WORKLOADS, make_workload
+
+CASES = [
+    (name, size)
+    for name, sizes in SIZED_WORKLOADS.items()
+    for size in sizes
+]
+
+
+@pytest.mark.parametrize("name,size", CASES, ids=[f"{n}-{s}" for n, s in CASES])
+def test_default_candidate_profiles(name, size):
+    wl = make_workload(name, size)
+    tuner = Tuner(wl, n_trials=4)
+    model = PerformanceModel()
+    seen_valid = False
+    for params in tuner._seed_params():
+        cand = tuner._build(params)
+        if cand is None:
+            continue
+        seen_valid = True
+        prof = model.profile(cand.module)
+        lat = prof.latency
+        assert lat.kernel > 0
+        assert lat.total == pytest.approx(
+            lat.h2d + lat.kernel + lat.d2h + lat.host + lat.launch
+        )
+        assert prof.n_dpus <= 2048
+        assert 1 <= prof.n_tasklets <= 24
+        # Kernel work must scale sensibly: per-DPU instruction count is
+        # positive and bounded by total work.
+        assert prof.kernel_counts.slots > 0
+    assert seen_valid, f"no valid seed for {name}/{size}"
+
+
+@pytest.mark.parametrize(
+    "name,size",
+    [("mtv", "4MB"), ("va", "4MB"), ("red", "4MB"), ("mmtv", "4MB")],
+)
+def test_latency_grows_with_size(name, size):
+    wl_small = make_workload(name, "4MB")
+    wl_big = make_workload(name, "64MB" if "64MB" in SIZED_WORKLOADS[name] else "256MB")
+    model = PerformanceModel()
+
+    def seed_latency(wl):
+        tuner = Tuner(wl, n_trials=4)
+        best = None
+        for params in tuner._seed_params():
+            cand = tuner._build(params)
+            if cand is not None:
+                t = model.profile(cand.module).latency.kernel
+                best = t if best is None else min(best, t)
+        return best
+
+    assert seed_latency(wl_big) > seed_latency(wl_small)

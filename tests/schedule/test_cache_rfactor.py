@@ -1,0 +1,155 @@
+"""cache_read/cache_write placement and rfactor rewrites."""
+
+import pytest
+
+from repro import te
+from repro.schedule import Schedule, ScheduleError
+from repro.tir import collect_loads
+
+
+def make_matvec(m=64, k=32):
+    A = te.placeholder((m, k), "float32", "A")
+    B = te.placeholder((k,), "float32", "B")
+    kk = te.reduce_axis(k, "k")
+    C = te.compute((m,), lambda i: te.sum(A[i, kk] * B[kk], axis=kk), "C")
+    return A, B, C
+
+
+class TestCacheRead:
+    def test_creates_stage(self):
+        A, B, C = make_matvec()
+        sch = Schedule(C)
+        cache = sch.cache_read(C, A, "wram")
+        assert cache.kind == "cache_read"
+        assert cache.cache_source is A.buffer
+        assert sch[C].cache_reads[A.buffer] is cache
+
+    def test_duplicate_cache_rejected(self):
+        A, _, C = make_matvec()
+        sch = Schedule(C)
+        sch.cache_read(C, A, "wram")
+        with pytest.raises(ScheduleError):
+            sch.cache_read(C, A, "wram")
+
+    def test_cache_of_unread_buffer_rejected(self):
+        A, B, C = make_matvec()
+        other = te.placeholder((4,), "float32", "unused")
+        sch = Schedule(C)
+        with pytest.raises(ScheduleError):
+            sch.cache_read(C, other, "wram")
+
+    def test_compute_at_records_attachment(self):
+        A, _, C = make_matvec()
+        sch = Schedule(C)
+        s = sch[C]
+        ko, ki = s.split(s.op.reduce_axis[0], factor=8)
+        cache = sch.cache_read(C, A, "wram")
+        cache.compute_at(s, ko)
+        assert cache.attach == (s, ko)
+
+    def test_compute_at_non_leaf_rejected(self):
+        A, _, C = make_matvec()
+        sch = Schedule(C)
+        s = sch[C]
+        k = s.op.reduce_axis[0]
+        s.split(k, factor=8)
+        cache = sch.cache_read(C, A, "wram")
+        with pytest.raises(ScheduleError):
+            cache.compute_at(s, k)  # k was consumed by split
+
+
+class TestCacheWrite:
+    def test_creates_writeback_stage(self):
+        _, _, C = make_matvec()
+        sch = Schedule(C)
+        wb = sch.cache_write(C, "wram")
+        assert wb.kind == "writeback"
+        assert wb.writeback_of is sch[C]
+        assert sch[C].write_cache_scope == "wram"
+
+    def test_double_cache_write_rejected(self):
+        _, _, C = make_matvec()
+        sch = Schedule(C)
+        sch.cache_write(C, "wram")
+        with pytest.raises(ScheduleError):
+            sch.cache_write(C, "wram")
+
+
+class TestRfactor:
+    def test_creates_partial_and_final_stage(self):
+        _, _, C = make_matvec()
+        sch = Schedule(C)
+        s = sch[C]
+        ko, ki = s.split(s.op.reduce_axis[0], nparts=4)
+        cf = sch.rfactor(C, ko)
+        names = [st.name for st in sch.stages]
+        assert cf.name in names
+        assert any(n.endswith("_final") for n in names)
+        # Partial tensor: leading factored axis + original spatial axis.
+        assert cf.shape == (4, 64)
+
+    def test_final_stage_reuses_output_buffer(self):
+        _, _, C = make_matvec()
+        sch = Schedule(C)
+        s = sch[C]
+        ko, _ = s.split(s.op.reduce_axis[0], nparts=4)
+        sch.rfactor(C, ko)
+        final = sch[C]
+        assert final.op.tensor.buffer is C.buffer
+        assert final.name.endswith("_final")
+
+    def test_final_stage_reads_partials(self):
+        _, _, C = make_matvec()
+        sch = Schedule(C)
+        s = sch[C]
+        ko, _ = s.split(s.op.reduce_axis[0], nparts=4)
+        cf = sch.rfactor(C, ko)
+        loads = collect_loads(sch[C].op.body)
+        assert loads[0].buffer is cf.buffer
+
+    def test_rfactor_on_spatial_rejected(self):
+        _, _, C = make_matvec()
+        sch = Schedule(C)
+        s = sch[C]
+        with pytest.raises(ScheduleError):
+            sch.rfactor(C, s.op.axis[0])
+
+    def test_rfactor_on_elementwise_rejected(self):
+        A = te.placeholder((8,), "float32", "A")
+        C = te.compute((8,), lambda i: A[i], "C")
+        sch = Schedule(C)
+        with pytest.raises(ScheduleError):
+            sch.rfactor(C, sch[C].op.axis[0])
+
+    def test_rfactor_after_bind_rejected(self):
+        _, _, C = make_matvec()
+        sch = Schedule(C)
+        s = sch[C]
+        ko, _ = s.split(s.op.reduce_axis[0], nparts=4)
+        s.bind(s.op.axis[0], "blockIdx.x")
+        with pytest.raises(ScheduleError):
+            sch.rfactor(C, ko)
+
+    def test_imperfect_rfactor_adds_predicate(self):
+        A = te.placeholder((8, 10), "float32", "A")
+        B = te.placeholder((10,), "float32", "B")
+        kk = te.reduce_axis(10, "k")
+        C = te.compute((8,), lambda i: te.sum(A[i, kk] * B[kk], axis=kk), "C")
+        sch = Schedule(C)
+        s = sch[C]
+        ko, _ = s.split(s.op.reduce_axis[0], nparts=4)  # 10 = 4 * ceil(2.5)
+        cf = sch.rfactor(C, ko)
+        assert getattr(cf.op, "predicates", [])
+
+    def test_double_rfactor(self):
+        A = te.placeholder((64,), "float32", "A")
+        k = te.reduce_axis(64, "k")
+        C = te.compute((1,), lambda i: te.sum(A[k], axis=k), "C")
+        sch = Schedule(C)
+        s = sch[C]
+        kd, kr = s.split(s.op.reduce_axis[0], nparts=4)
+        cf = sch.rfactor(C, kd)
+        scf = sch[cf]
+        kt, _ = scf.split(scf.op.reduce_axis[0], nparts=2)
+        cf2 = sch.rfactor(cf, kt)
+        assert cf2.shape == (2, 4, 1)

@@ -1,0 +1,113 @@
+"""Tensor-expression DSL: placeholders, computes, reductions."""
+
+import pytest
+
+from repro import te
+from repro.tir import BufferLoad
+
+
+class TestPlaceholder:
+    def test_shape_dtype_name(self):
+        A = te.placeholder((4, 8), "float32", "A")
+        assert A.shape == (4, 8)
+        assert A.dtype == "float32"
+        assert A.name == "A"
+
+    def test_auto_name(self):
+        A = te.placeholder((4,))
+        assert A.name
+
+    def test_indexing_builds_load(self):
+        A = te.placeholder((4, 8), "float32", "A")
+        load = A[1, 2]
+        assert isinstance(load, BufferLoad)
+        assert load.buffer is A.buffer
+
+    def test_indexing_arity_checked(self):
+        A = te.placeholder((4, 8), "float32", "A")
+        with pytest.raises(ValueError):
+            A[1]
+
+    def test_indexing_with_itervar(self):
+        A = te.placeholder((4,), "float32", "A")
+        k = te.reduce_axis(4, "k")
+        load = A[k]
+        assert load.indices[0] is k.var
+
+
+class TestCompute:
+    def test_elementwise(self):
+        A = te.placeholder((8,), "float32", "A")
+        C = te.compute((8,), lambda i: A[i] + 1.0, "C")
+        op = C.op
+        assert not op.is_reduction
+        assert len(op.axis) == 1
+        assert C.shape == (8,)
+
+    def test_multi_dim_axis_count(self):
+        A = te.placeholder((4, 8), "float32", "A")
+        C = te.compute((4, 8), lambda i, j: A[i, j] * 2.0, "C")
+        assert len(C.op.axis) == 2
+
+    def test_reduction(self):
+        A = te.placeholder((4, 8), "float32", "A")
+        k = te.reduce_axis(8, "k")
+        C = te.compute((4,), lambda i: te.sum(A[i, k], axis=k), "C")
+        assert C.op.is_reduction
+        assert C.op.combiner == "add"
+        assert C.op.reduce_axis[0] is k
+
+    def test_max_reduce(self):
+        A = te.placeholder((8,), "float32", "A")
+        k = te.reduce_axis(8, "k")
+        C = te.compute((1,), lambda i: te.max_reduce(A[k], axis=k), "C")
+        assert C.op.combiner == "max"
+
+    def test_min_reduce(self):
+        A = te.placeholder((8,), "float32", "A")
+        k = te.reduce_axis(8, "k")
+        C = te.compute((1,), lambda i: te.min_reduce(A[k], axis=k), "C")
+        assert C.op.combiner == "min"
+
+    def test_reduce_requires_reduce_axis(self):
+        A = te.placeholder((8,), "float32", "A")
+        spatial = te.operation.IterVar(8, "i", "spatial")
+        with pytest.raises(ValueError):
+            te.sum(A[spatial], axis=spatial)
+
+    def test_input_buffers_deduplicated(self):
+        A = te.placeholder((8,), "float32", "A")
+        B = te.placeholder((8,), "float32", "B")
+        C = te.compute((8,), lambda i: A[i] + B[i] + A[i], "C")
+        assert C.op.input_buffers() == [A.buffer, B.buffer]
+
+    def test_output_shape_from_axis(self):
+        C = te.compute((3, 5), lambda i, j: i + j, "C", dtype="int32")
+        assert C.op.tensor.shape == (3, 5)
+
+
+class TestIterVar:
+    def test_reduce_axis_kind(self):
+        k = te.reduce_axis(16, "k")
+        assert k.is_reduce
+        assert k.extent == 16
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError):
+            te.operation.IterVar(4, "x", "banana")
+
+    def test_identity_value(self):
+        from repro.te.operation import identity_value
+        from repro.tir import FloatImm, IntImm
+
+        assert isinstance(identity_value("add", "float32"), FloatImm)
+        assert identity_value("add", "int32").value == 0
+        assert identity_value("max", "float32").value < 0
+        with pytest.raises(ValueError):
+            identity_value("xor", "int32")
+
+    def test_producers_registry(self):
+        from repro.te.operation import PRODUCERS
+
+        C = te.compute((4,), lambda i: i, "Creg", dtype="int32")
+        assert PRODUCERS[C.buffer] is C

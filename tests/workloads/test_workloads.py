@@ -1,0 +1,122 @@
+"""Workload definitions: shapes, references, registry, GPT-J configs."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    GPTJ_30B,
+    GPTJ_6B,
+    fc_mtv,
+    fc_shapes,
+    geva,
+    gemv,
+    make_workload,
+    mha_mmtv,
+    mmtv,
+    mtv,
+    red,
+    size_labels,
+    ttv,
+    va,
+    workload_names,
+)
+
+
+class TestReferences:
+    def test_va(self):
+        wl = va(64)
+        ins = wl.random_inputs(0)
+        np.testing.assert_allclose(
+            wl.reference_output(ins), ins["A"] + ins["B"]
+        )
+
+    def test_geva_scales(self):
+        wl = geva(64, c=2.0, d=3.0)
+        ins = wl.random_inputs(0)
+        np.testing.assert_allclose(
+            wl.reference_output(ins), 2 * ins["A"] + 3 * ins["B"], rtol=1e-6
+        )
+
+    def test_red_scalar(self):
+        wl = red(128)
+        ins = wl.random_inputs(0)
+        assert wl.reference_output(ins).shape == (1,)
+
+    def test_mtv_gemv(self):
+        ins = mtv(8, 16).random_inputs(0)
+        np.testing.assert_allclose(
+            mtv(8, 16).reference_output(ins), ins["A"] @ ins["B"], rtol=1e-5
+        )
+        g = gemv(8, 16, c=2.0)
+        np.testing.assert_allclose(
+            g.reference_output(ins), 2 * (ins["A"] @ ins["B"]), rtol=1e-5
+        )
+
+    def test_ttv_mmtv_shapes(self):
+        t = ttv(2, 3, 8)
+        assert t.reference_output(t.random_inputs(0)).shape == (2, 3)
+        m = mmtv(2, 3, 8)
+        assert m.reference_output(m.random_inputs(0)).shape == (2, 3)
+
+    def test_mmtv_semantics(self):
+        wl = mmtv(2, 3, 4)
+        ins = wl.random_inputs(1)
+        expected = np.einsum("ijl,il->ij", ins["A"], ins["B"])
+        np.testing.assert_allclose(wl.reference_output(ins), expected, rtol=1e-5)
+
+    def test_flops_positive(self):
+        for wl in (va(8), red(8), mtv(4, 4), ttv(2, 2, 4)):
+            assert wl.flops > 0
+
+    def test_footprint(self):
+        wl = mtv(1024, 1024)
+        assert wl.footprint_mb == pytest.approx(4.0, rel=0.01)
+
+
+class TestRegistry:
+    def test_names(self):
+        assert set(workload_names()) == {
+            "va", "geva", "red", "mtv", "gemv", "ttv", "mmtv"
+        }
+
+    def test_size_labels(self):
+        assert "64MB" in size_labels("mtv")
+
+    def test_make_workload_sizes(self):
+        wl = make_workload("mtv", "64MB")
+        assert wl.shape == (4096, 4096)
+        assert wl.footprint_mb == pytest.approx(64, rel=0.01)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            make_workload("mtv", "1TB")
+        with pytest.raises(KeyError):
+            make_workload("conv", "4MB")
+
+
+class TestGptj:
+    def test_fc_shapes_6b(self):
+        shapes = {name: (m, k) for name, m, k in fc_shapes(GPTJ_6B)}
+        assert shapes["qkv_proj"] == (4096, 4096)
+        assert shapes["qkv_gen"] == (12288, 4096)
+        assert shapes["fc"] == (16384, 4096)
+        assert shapes["fc_proj"] == (4096, 16384)
+
+    def test_fc_shapes_30b(self):
+        shapes = {name: (m, k) for name, m, k in fc_shapes(GPTJ_30B)}
+        assert shapes["qkv_proj"] == (7168, 7168)
+        assert shapes["fc_proj"] == (7168, 28672)
+
+    def test_mha_mmtv_shape(self):
+        wl = mha_mmtv(GPTJ_6B, batch=4, tokens=128)
+        assert wl.shape == (64, 128, 256)
+
+    def test_fc_mtv_lookup(self):
+        wl = fc_mtv(GPTJ_6B, "fc")
+        assert wl.shape == (16384, 4096)
+        with pytest.raises(KeyError):
+            fc_mtv(GPTJ_6B, "conv")
+
+    def test_head_counts(self):
+        assert GPTJ_6B.n_heads == 16
+        assert GPTJ_30B.n_heads == 28
