@@ -5,7 +5,8 @@ Walks the full ATiM flow by hand on a matrix-vector product:
 1. declare the computation with the TE DSL;
 2. schedule it with the Table-2 primitives (DPU binding, tasklet binding,
    WRAM caching, hierarchical reduction);
-3. build for the simulated UPMEM system;
+3. build for the simulated UPMEM system through the named ``build``
+   pipeline, with per-pass timing collected in a ``PassContext``;
 4. run functionally and inspect the simulated latency breakdown and the
    generated UPMEM-C kernel.
 
@@ -14,9 +15,8 @@ Run:  python examples/quickstart.py
 
 import numpy as np
 
-from repro import build, te
+from repro import PassContext, build, te
 from repro.schedule import Schedule
-from repro.upmem.emitter import emit_kernel_c
 
 M, K = 1024, 1024
 
@@ -51,8 +51,13 @@ def main() -> None:
     fo, _ = final.split(final.op.axis[0], nparts=16)
     final.parallel(fo)  # host post-processing
 
-    # 3. Compile (PIM-aware optimizations O3 by default).
-    mod = build(sch, name="mtv_quickstart")
+    # 3. Compile (PIM-aware optimizations O3 by default).  The build
+    #    routes through the shared pass pipeline; the context records
+    #    what ran and how long each pass took.
+    ctx = PassContext()
+    mod = build(sch, name="mtv_quickstart", ctx=ctx)
+    print("--- compile pipeline ---")
+    print(ctx.timing_report())
 
     # 4. Run and check.
     rng = np.random.default_rng(0)
@@ -71,7 +76,7 @@ def main() -> None:
     )
     print(f"grid: {mod.lowered.n_dpus} DPUs x {mod.lowered.n_tasklets} tasklets")
     print("\n--- generated UPMEM-C kernel (excerpt) ---")
-    print("\n".join(emit_kernel_c(mod.lowered).splitlines()[:40]))
+    print("\n".join(mod.source().splitlines()[:40]))
 
 
 if __name__ == "__main__":

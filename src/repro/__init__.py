@@ -13,21 +13,26 @@ Public API::
     print(mod.profile().latency.total)
 """
 
-from . import te, tir
+from . import pipeline, te, tir
 from .lowering import LowerOptions, lower
+from .pipeline import PassContext, PassManager, get_pipeline
 from .runtime import Module, build
 from .schedule import Schedule
 from .upmem import DEFAULT_CONFIG, UpmemConfig
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
 __all__ = [
     "te",
     "tir",
+    "pipeline",
     "build",
     "Module",
     "lower",
     "LowerOptions",
+    "PassContext",
+    "PassManager",
+    "get_pipeline",
     "Schedule",
     "UpmemConfig",
     "DEFAULT_CONFIG",

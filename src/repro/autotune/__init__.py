@@ -1,5 +1,6 @@
 """Autotuning: sketches, verifier, cost model, balanced evolutionary search."""
 
+from .compile import CompileEngine, compile_params, default_engine
 from .cost_model import CostModel
 from .database import Database, TuningRecord
 from .features import FEATURE_NAMES, extract_features
@@ -14,6 +15,9 @@ from .verifier import verify
 
 __all__ = [
     "autotune",
+    "CompileEngine",
+    "compile_params",
+    "default_engine",
     "Tuner",
     "TuneResult",
     "Candidate",

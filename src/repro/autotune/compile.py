@@ -1,18 +1,144 @@
-"""Helper: compile a (workload, params) pair into a verified module."""
+"""Candidate compilation through the unified pipeline, with caching.
+
+:class:`CompileEngine` is the single path from a (workload, params) pair
+to a verified :class:`~repro.pipeline.CompiledArtifact`: sketch →
+``build`` pipeline (lower + §5.3 passes) → lazy constraint verification
+on first checked use, memoized in a content-addressed
+:class:`~repro.pipeline.ArtifactCache`.
+The tuner owns a private engine (so its hit-rate accounting is per-run);
+:func:`compile_params` and the experiment harness share a process-wide
+default engine, so re-profiling the same candidate across figures is
+free.
+"""
 
 from __future__ import annotations
 
 from typing import Dict, Optional
 
-from ..lowering import LoweredModule, LowerOptions, LoweringError, lower
-from ..optim import optimize_module
+from ..lowering import LoweredModule, LoweringError
+from ..pipeline import (
+    ArtifactCache,
+    CompiledArtifact,
+    PassContext,
+    artifact_key,
+    get_pipeline,
+)
 from ..schedule import ScheduleError
-from ..upmem.config import UpmemConfig
+from ..upmem.config import DEFAULT_CONFIG, UpmemConfig
 from ..workloads import Workload
 from .sketch import SketchError, generate_schedule
 from .verifier import verify
 
-__all__ = ["compile_params"]
+__all__ = ["CompileEngine", "compile_params", "default_engine"]
+
+
+class CompileEngine:
+    """Compiles tuning candidates via a named pipeline, cache-first.
+
+    One engine wraps one :class:`ArtifactCache`; every compile outcome —
+    including sketch/lowering rejections and verification verdicts — is
+    cached, so repeated candidates cost one dictionary lookup.
+    """
+
+    def __init__(
+        self,
+        cache: Optional[ArtifactCache] = None,
+        pipeline: str = "build",
+    ) -> None:
+        self.cache = cache if cache is not None else ArtifactCache()
+        self.pipeline = pipeline
+
+    # -- cache accounting ---------------------------------------------------
+    @property
+    def stats(self):
+        return self.cache.stats
+
+    def compile(
+        self,
+        workload: Workload,
+        params: Dict[str, int],
+        optimize: str = "O3",
+        config: Optional[UpmemConfig] = None,
+        check: bool = True,
+    ) -> CompiledArtifact:
+        """Sketch → lower → optimize (→ verify); always returns an artifact.
+
+        Check ``artifact.ok`` (and ``artifact.verified`` when ``check``)
+        before using ``artifact.module``.
+
+        **Immutability contract:** cache hits return the *shared* cached
+        ``LoweredModule`` — callers must treat it as read-only (executing
+        and profiling are fine; mutating attributes would corrupt every
+        later caller hitting the same key).  Use
+        ``dataclasses.replace(module, ...)`` to derive a variant.
+        """
+        # Normalize so config=None and an explicit DEFAULT_CONFIG share
+        # one cache entry (callers spell the default both ways).
+        config = config if config is not None else DEFAULT_CONFIG
+        key = artifact_key(
+            workload, params, config, opt_level=optimize, pipeline=self.pipeline
+        )
+        artifact = self.cache.get(key)
+        if artifact is None:
+            artifact = self.cache.put(
+                self._compile(key, workload, params, optimize, config)
+            )
+        if check and artifact.ok and artifact.verified is None:
+            artifact.verified, artifact.verify_reason = verify(
+                artifact.module, config
+            )
+            # Re-put so a disk tier persists the verdict too.
+            self.cache.put(artifact)
+        return artifact
+
+    def _compile(
+        self,
+        key: str,
+        workload: Workload,
+        params: Dict[str, int],
+        optimize: str,
+        config: Optional[UpmemConfig],
+    ) -> CompiledArtifact:
+        ctx = PassContext(
+            config=config, opt_level=optimize, module_name=workload.name
+        )
+        try:
+            schedule = generate_schedule(workload, params)
+            module = get_pipeline(self.pipeline).run(schedule, ctx)
+        except (SketchError, ScheduleError, LoweringError) as exc:
+            return CompiledArtifact(
+                key,
+                None,
+                error=f"{type(exc).__name__}: {exc}",
+                opt_level=optimize,
+                pipeline=self.pipeline,
+                timings=list(ctx.timings),
+            )
+        module.const_inputs = frozenset(workload.const_inputs)
+        # The default "build" pipeline has no VerifyPass, leaving
+        # ``verified`` as None for compile() to fill lazily; a custom
+        # pipeline that does verify (e.g. "autotune") pre-seeds the
+        # verdict here.  Note such in-pipeline verification sees the
+        # module before ``const_inputs`` is set — irrelevant to the
+        # current verifier, which only reads capacity/grid structure.
+        return CompiledArtifact(
+            key,
+            module,
+            opt_level=optimize,
+            pipeline=self.pipeline,
+            verified=ctx.attrs.get("verify_ok"),
+            verify_reason=ctx.attrs.get("verify_reason", ""),
+            timings=list(ctx.timings),
+        )
+
+
+#: Process-wide engine shared by ``compile_params`` and the harness.
+_DEFAULT_ENGINE = CompileEngine()
+
+
+def default_engine() -> CompileEngine:
+    """The shared process-wide compile engine (and its cache)."""
+    return _DEFAULT_ENGINE
 
 
 def compile_params(
@@ -22,20 +148,17 @@ def compile_params(
     config: Optional[UpmemConfig] = None,
     check: bool = True,
 ) -> Optional[LoweredModule]:
-    """Sketch → lower → optimize → verify; ``None`` if invalid."""
-    try:
-        schedule = generate_schedule(workload, params)
-        module = lower(
-            schedule,
-            name=workload.name,
-            options=LowerOptions(optimize=optimize),
-        )
-    except (SketchError, ScheduleError, LoweringError):
+    """Sketch → lower → optimize → verify; ``None`` if invalid.
+
+    Backwards-compatible façade over :func:`default_engine`.  The
+    returned module may be shared with other callers via the cache —
+    treat it as read-only (see :meth:`CompileEngine.compile`).
+    """
+    artifact = _DEFAULT_ENGINE.compile(
+        workload, params, optimize=optimize, config=config, check=check
+    )
+    if not artifact.ok:
         return None
-    module = optimize_module(module, optimize)
-    module.const_inputs = frozenset(workload.const_inputs)
-    if check:
-        ok, _ = verify(module, config)
-        if not ok:
-            return None
-    return module
+    if check and not artifact.verified:
+        return None
+    return artifact.module

@@ -22,9 +22,11 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..pipeline import ArtifactCache, CacheStats
 from ..upmem.config import DEFAULT_CONFIG, UpmemConfig
 from ..upmem.system import PerformanceModel
 from ..workloads import Workload
+from .compile import CompileEngine
 from .cost_model import CostModel
 from .database import Database, TuningRecord
 from .features import extract_features
@@ -65,6 +67,17 @@ class TuneResult:
     round_times: List[float] = field(default_factory=list)
     #: simulated latency of every measured candidate (Fig. 15 right).
     measured: List[float] = field(default_factory=list)
+    #: compile-cache accounting (per-run deltas): repeated candidates
+    #: skip re-lowering; ``disk_hits`` counts the subset served from a
+    #: persistent cache tier.
+    compile_cache_hits: int = 0
+    compile_cache_misses: int = 0
+    compile_cache_disk_hits: int = 0
+
+    @property
+    def compile_cache_hit_rate(self) -> float:
+        lookups = self.compile_cache_hits + self.compile_cache_misses
+        return self.compile_cache_hits / lookups if lookups else 0.0
 
     def best_gflops(self) -> float:
         return self.workload.flops / self.best_latency / 1e9
@@ -91,6 +104,8 @@ class Tuner:
         top_k: int = 10,
         pool_multiplier: int = 4,
         seed_defaults: bool = True,
+        engine: Optional[CompileEngine] = None,
+        cache: Optional[ArtifactCache] = None,
     ) -> None:
         self.workload = workload
         self.config = config or DEFAULT_CONFIG
@@ -110,6 +125,20 @@ class Tuner:
         self.database = Database()
         self.cost_model = CostModel()
         self.perf = PerformanceModel(self.config)
+        #: Every candidate compiles through the shared pass pipeline via
+        #: this engine; a tuner-private cache keeps artifacts scoped to
+        #: the run (pass an engine or cache to share across runs —
+        #: hit-rate accounting stays per-run either way).
+        if engine is not None and cache is not None:
+            raise ValueError("pass either engine or cache, not both")
+        if engine is None:
+            # `cache if ... is not None`: an empty ArtifactCache is falsy
+            # (it has __len__), and a caller's fresh shared cache must
+            # not be silently replaced by a private one.
+            engine = CompileEngine(
+                cache=cache if cache is not None else ArtifactCache()
+            )
+        self.engine = engine
         self._explore_until = int(0.4 * n_trials)
 
     # -- candidate construction ------------------------------------------------
@@ -126,13 +155,12 @@ class Tuner:
         return new
 
     def _build(self, params: Dict[str, int]) -> Optional[Candidate]:
-        from .compile import compile_params
-
-        module = compile_params(
+        artifact = self.engine.compile(
             self.workload, params, optimize=self.optimize, config=self.config
         )
-        if module is None:
+        if not artifact.ok or not artifact.verified:
             return None
+        module = artifact.module
         cand = Candidate(
             params=params, subspace=subspace_of(self.workload.name, params)
         )
@@ -284,6 +312,14 @@ class Tuner:
     def _measure(self, cand: Candidate) -> float:
         return self.perf.profile(cand.module).latency.total
 
+    def _measure_batch(self, batch: Sequence[Candidate]) -> List[float]:
+        """Evaluate a measurement batch on the simulated system.
+
+        Batched so the whole round shares one evaluation step (matching
+        real-hardware drivers that upload and time a program batch).
+        """
+        return [self._measure(cand) for cand in batch]
+
     def tune(self) -> TuneResult:
         """Run the search; returns the best candidate and full history."""
         trial = 0
@@ -291,6 +327,7 @@ class Tuner:
         round_times: List[float] = []
         measured: List[float] = []
         best: Optional[TuningRecord] = None
+        stats_before = self.engine.stats.snapshot()
 
         while trial < self.n_trials:
             start = time.perf_counter()
@@ -298,8 +335,9 @@ class Tuner:
             batch = self._select_batch(pool, trial)
             if not batch:
                 break
-            for cand in batch:
-                latency = self._measure(cand)
+            batch = batch[: self.n_trials - trial]
+            latencies = self._measure_batch(batch)
+            for cand, latency in zip(batch, latencies):
                 measured.append(latency)
                 record = TuningRecord(
                     params=cand.params,
@@ -313,8 +351,6 @@ class Tuner:
                 if best is None or latency < best.latency:
                     best = record
                 history.append((trial, best.latency))
-                if trial >= self.n_trials:
-                    break
             X, y = self.database.training_data()
             self.cost_model.fit(X, y)
             round_times.append(time.perf_counter() - start)
@@ -325,6 +361,14 @@ class Tuner:
             )
         best_candidate = self._build(best.params)
         assert best_candidate is not None
+        # Delta against the run's start so a shared engine still yields
+        # per-run accounting.
+        totals = self.engine.stats
+        stats = CacheStats(
+            hits=totals.hits - stats_before.hits,
+            misses=totals.misses - stats_before.misses,
+            disk_hits=totals.disk_hits - stats_before.disk_hits,
+        )
         return TuneResult(
             workload=self.workload,
             best_params=best.params,
@@ -334,6 +378,9 @@ class Tuner:
             history=history,
             round_times=round_times,
             measured=measured,
+            compile_cache_hits=stats.hits,
+            compile_cache_misses=stats.misses,
+            compile_cache_disk_hits=stats.disk_hits,
         )
 
 

@@ -1,5 +1,24 @@
-"""Backend extension sketches beyond UPMEM (paper §8)."""
+"""Backend extension sketches beyond UPMEM (paper §8).
 
-from .hbm_pim import HbmPimConfig, HbmPimEstimate, HbmPimEstimator
+Importing an extension registers its target-specific compile pipeline
+with :mod:`repro.pipeline` (e.g. ``hbm-pim``), so backends plug into the
+shared :class:`~repro.pipeline.PassManager` flow instead of forking it.
+"""
 
-__all__ = ["HbmPimConfig", "HbmPimEstimate", "HbmPimEstimator"]
+from .hbm_pim import (
+    HbmPimConfig,
+    HbmPimEstimate,
+    HbmPimEstimatePass,
+    HbmPimEstimator,
+    estimate_lowered,
+    estimate_schedule,
+)
+
+__all__ = [
+    "HbmPimConfig",
+    "HbmPimEstimate",
+    "HbmPimEstimatePass",
+    "HbmPimEstimator",
+    "estimate_lowered",
+    "estimate_schedule",
+]

@@ -12,6 +12,7 @@ from .experiments import (
     fig13_breakdown,
     fig14_search_strategies,
     fig15_tuning_overhead,
+    compile_cache_stats,
     profile_params,
     table3_parameters,
 )
@@ -19,6 +20,7 @@ from .reporting import render_curve, render_table, summarize_speedups
 
 __all__ = [
     "profile_params",
+    "compile_cache_stats",
     "fig3a_cache_tile_sweep",
     "fig3b_tiling_schemes",
     "fig3c_dpu_sweep",

@@ -94,11 +94,21 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--workloads", nargs="*", default=None)
     parser.add_argument("--sizes", nargs="*", default=None)
+    parser.add_argument(
+        "--cache-stats", action="store_true",
+        help="print compile-cache hit/miss counters after the run",
+    )
     args = parser.parse_args(argv)
 
     names = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
     for name in names:
         run_experiment(name, args)
+    if args.cache_stats:
+        stats = experiments.compile_cache_stats()
+        print(
+            f"compile cache: {stats.hits} hits / {stats.misses} misses"
+            f" ({stats.hit_rate:.1%} hit rate)"
+        )
     return 0
 
 

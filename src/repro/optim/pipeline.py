@@ -1,19 +1,20 @@
-"""PIM-aware optimization pipeline: O0 → O3 (paper §5.3 / Fig. 13)."""
+"""PIM-aware optimization pipeline: O0 → O3 (paper §5.3 / Fig. 13).
+
+These entry points are thin wrappers over the unified pass pipeline in
+:mod:`repro.pipeline`: the §5.3 passes are registered as level-gated
+kernel passes of the named ``"optimize"`` pipeline, so the same pass
+definitions serve ``repro.build``, the autotuner's compile engine and
+direct callers of :func:`optimize_kernel` (the registry hands each
+caller a fresh pipeline instance).
+"""
 
 from __future__ import annotations
 
-from dataclasses import replace
-from typing import Optional
-
 from ..lowering import LoweredModule
+from ..pipeline.core import OPT_LEVELS as LEVELS
 from ..tir import Stmt
-from .dma_elim import eliminate_copy_checks
-from .hoist import hoist_invariant_branches
-from .tighten import tighten_loop_bounds
 
 __all__ = ["optimize_module", "optimize_kernel", "LEVELS"]
-
-LEVELS = ("O0", "O1", "O2", "O3")
 
 
 def optimize_kernel(kernel: Stmt, level: str = "O3") -> Stmt:
@@ -22,23 +23,21 @@ def optimize_kernel(kernel: Stmt, level: str = "O3") -> Stmt:
     ``O0`` — none; ``O1`` — DMA-aware boundary-check elimination;
     ``O2`` — + loop-bound tightening; ``O3`` — + invariant branch hoisting.
     """
+    from ..pipeline import PassContext, get_pipeline
+
     if level not in LEVELS:
         raise ValueError(f"unknown optimization level {level!r}")
-    rank = LEVELS.index(level)
-    if rank >= 1:
-        kernel = eliminate_copy_checks(kernel)
-    if rank >= 2:
-        kernel = tighten_loop_bounds(kernel)
-    if rank >= 3:
-        kernel = hoist_invariant_branches(kernel)
-    return kernel
+    return get_pipeline("optimize").run(kernel, PassContext(opt_level=level))
 
 
 def optimize_module(
     module: LoweredModule, level: str = "O3", config=None
 ) -> LoweredModule:
-    """Return a copy of ``module`` with the optimized kernel."""
-    kernel = optimize_kernel(module.kernel, level)
-    if kernel is module.kernel:
-        return module
-    return replace(module, kernel=kernel)
+    """Return a copy of ``module`` with the optimized kernel (``module``
+    itself when every pass is an identity)."""
+    from ..pipeline import PassContext, get_pipeline
+
+    if level not in LEVELS:
+        raise ValueError(f"unknown optimization level {level!r}")
+    ctx = PassContext(config=config, opt_level=level, module_name=module.name)
+    return get_pipeline("optimize").run(module, ctx)

@@ -1,0 +1,223 @@
+"""Compiled-artifact layer: content-addressed caching of lowered modules.
+
+Tuning measures thousands of candidates, and many of them recur — pool
+candidates built but not measured one round are resampled the next, the
+harness re-profiles identical (workload, params) pairs across figures,
+and the winning candidate is rebuilt after the search.  A
+:class:`CompiledArtifact` wraps the outcome of one compile (including
+*negative* outcomes, so invalid parameter combinations are rejected
+without re-sketching), keyed by a digest of (workload signature, schedule
+params, hardware config, opt level, pipeline name).  The cache is
+in-memory with an optional on-disk tier that persists across processes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+__all__ = [
+    "CompiledArtifact",
+    "ArtifactCache",
+    "CacheStats",
+    "CACHE_SCHEMA_VERSION",
+    "artifact_key",
+    "workload_signature",
+]
+
+#: Mixed into every artifact key; bump whenever compiler behavior changes
+#: (lowering, a §5.3 pass, the performance-relevant module layout), so a
+#: persistent disk tier never serves artifacts produced by older
+#: compiler code.
+CACHE_SCHEMA_VERSION = 1
+
+
+def _tensor_signature(tensor: Any) -> tuple:
+    """(name, dtype, shape) of a TE tensor, tolerant of plain objects."""
+    buffer = getattr(tensor, "buffer", None)
+    if buffer is None:
+        return (repr(tensor),)
+    return (buffer.name, buffer.dtype, tuple(buffer.shape))
+
+
+def workload_signature(workload: Any) -> tuple:
+    """Stable identity of a workload for cache keying.
+
+    Uses the declared structure — name, shape, reduction, tensor dtypes
+    and the compute expression — rather than object identity, so equal
+    workloads constructed separately share artifacts while same-named
+    workloads with different bodies or dtypes do not alias.
+    """
+    output = getattr(workload, "output", None)
+    op = getattr(output, "op", None)
+    body = getattr(op, "body", None)
+    return (
+        getattr(workload, "name", str(workload)),
+        tuple(getattr(workload, "shape", ())),
+        getattr(workload, "reduce_extent", 0),
+        tuple(sorted(getattr(workload, "const_inputs", ()) or ())),
+        tuple(sorted((getattr(workload, "params", None) or {}).items())),
+        tuple(_tensor_signature(t) for t in getattr(workload, "inputs", ())),
+        _tensor_signature(output) if output is not None else None,
+        repr(body) if body is not None else None,
+        # The combiner lives outside ``body`` on ComputeOp: sum vs max
+        # over the same element expression must not share a key.
+        getattr(op, "combiner", None),
+    )
+
+
+def artifact_key(
+    workload: Any = None,
+    params: Optional[Dict[str, int]] = None,
+    config: Any = None,
+    opt_level: str = "O3",
+    pipeline: str = "build",
+    extra: Any = None,
+) -> str:
+    """Content-addressed digest identifying one compile's inputs."""
+    payload = (
+        CACHE_SCHEMA_VERSION,
+        workload_signature(workload) if workload is not None else None,
+        tuple(sorted((params or {}).items())),
+        repr(config),
+        opt_level,
+        pipeline,
+        extra,
+    )
+    return hashlib.sha256(repr(payload).encode()).hexdigest()
+
+
+@dataclass
+class CompiledArtifact:
+    """Outcome of compiling one (workload, params) candidate.
+
+    ``module`` is ``None`` for negative artifacts (the sketch or lowering
+    rejected the parameters); ``error`` then names the failure.
+    ``verified`` is tri-state: ``None`` until a verifying caller runs the
+    hardware-constraint check, then the cached verdict.
+    """
+
+    key: str
+    module: Any = None
+    error: str = ""
+    verified: Optional[bool] = None
+    verify_reason: str = ""
+    opt_level: str = "O3"
+    pipeline: str = "build"
+    #: Per-pass wall-clock of the producing run (name, seconds, skipped).
+    timings: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.module is not None
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one :class:`ArtifactCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    disk_hits: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def snapshot(self) -> "CacheStats":
+        return CacheStats(self.hits, self.misses, self.disk_hits)
+
+
+class ArtifactCache:
+    """Content-addressed artifact store: in-memory LRU + optional disk tier.
+
+    ``disk_dir`` enables persistence: artifacts are pickled to
+    ``<disk_dir>/<key>.pkl`` with atomic renames, so concurrent processes
+    sharing a directory never observe torn files.  Disk loads count as
+    hits (and ``disk_hits``) because the expensive re-lowering is skipped.
+    """
+
+    def __init__(
+        self, disk_dir: Optional[str] = None, max_entries: int = 4096
+    ) -> None:
+        self.disk_dir = disk_dir
+        self.max_entries = max_entries
+        self._mem: "OrderedDict[str, CompiledArtifact]" = OrderedDict()
+        self.stats = CacheStats()
+        if disk_dir:
+            os.makedirs(disk_dir, exist_ok=True)
+
+    def __len__(self) -> int:
+        return len(self._mem)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._mem or self._on_disk(key)
+
+    def _disk_path(self, key: str) -> str:
+        return os.path.join(self.disk_dir, f"{key}.pkl")
+
+    def _on_disk(self, key: str) -> bool:
+        return bool(self.disk_dir) and os.path.exists(self._disk_path(key))
+
+    def get(self, key: str) -> Optional[CompiledArtifact]:
+        art = self._mem.get(key)
+        if art is not None:
+            self._mem.move_to_end(key)
+            self.stats.hits += 1
+            return art
+        if self._on_disk(key):
+            try:
+                with open(self._disk_path(key), "rb") as fh:
+                    art = pickle.load(fh)
+            except Exception:
+                # Torn/stale/cross-version pickles degrade to a miss (a
+                # recompile), never to a crashed lookup.
+                art = None
+            if art is not None:
+                self._remember(key, art)
+                self.stats.hits += 1
+                self.stats.disk_hits += 1
+                return art
+        self.stats.misses += 1
+        return None
+
+    def put(self, artifact: CompiledArtifact) -> CompiledArtifact:
+        self._remember(artifact.key, artifact)
+        if self.disk_dir:
+            self._write_disk(artifact)
+        return artifact
+
+    def _remember(self, key: str, artifact: CompiledArtifact) -> None:
+        self._mem[key] = artifact
+        self._mem.move_to_end(key)
+        while len(self._mem) > self.max_entries:
+            self._mem.popitem(last=False)
+
+    def _write_disk(self, artifact: CompiledArtifact) -> None:
+        path = self._disk_path(artifact.key)
+        fd, tmp = tempfile.mkstemp(dir=self.disk_dir, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(artifact, fh)
+            os.replace(tmp, path)
+        except Exception:  # pragma: no cover - defensive
+            # The disk tier is an optimization: a module that cannot be
+            # pickled (or a full disk) must not fail the compile that
+            # produced it, and the temp file must not leak.
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    def clear(self) -> None:
+        """Drop the in-memory tier (disk files are left in place)."""
+        self._mem.clear()

@@ -13,7 +13,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from ..lowering import LoweredModule, LowerOptions, lower
+from ..lowering import LoweredModule, LowerOptions
 from ..schedule import Schedule
 from ..upmem import FunctionalExecutor, UpmemConfig
 from ..upmem.system import PerformanceModel, ProfileResult
@@ -62,21 +62,51 @@ class Module:
 
         return stmt_to_str(self.lowered.kernel)
 
+    def source(self) -> str:
+        """UPMEM-C rendering of the kernel."""
+        from ..upmem.emitter import emit_kernel_c
+
+        return emit_kernel_c(self.lowered)
+
 
 def build(
     schedule: Schedule,
-    name: str = "main",
+    name: Optional[str] = None,
     options: Optional[LowerOptions] = None,
     config: Optional[UpmemConfig] = None,
+    ctx: Optional["PassContext"] = None,
 ) -> Module:
-    """Lower, optimize and wrap a schedule into an executable module.
+    """Compile a schedule into an executable module via the ``build``
+    pipeline (lowering + the §5.3 passes).
 
     The PIM-aware optimization level comes from ``options.optimize``
-    (default ``O3`` — all of §5.3).
+    (default ``O3`` — all of §5.3).  Pass an explicit
+    :class:`repro.pipeline.PassContext` as ``ctx`` to attach instruments
+    or collect per-pass timing/IR dumps; explicit ``name``/``options``/
+    ``config`` arguments override the context's values, otherwise the
+    context's own settings are respected.  Overrides are written into
+    ``ctx`` (they stay in effect if the same context is reused for a
+    later build), matching how timings accumulate on a reused context.
     """
-    options = options or LowerOptions()
-    lowered = lower(schedule, name=name, options=options)
-    from ..optim import optimize_module
+    from ..pipeline import OPT_LEVELS, PassContext, get_pipeline
 
-    lowered = optimize_module(lowered, options.optimize, config)
-    return Module(lowered, config)
+    if ctx is None:
+        options = options or LowerOptions()
+        ctx = PassContext(
+            config=config,
+            opt_level=options.optimize,
+            options=options,
+            module_name=name or "main",
+        )
+    else:
+        if options is not None:
+            if options.optimize not in OPT_LEVELS:
+                raise ValueError(f"unknown optimization level {options.optimize!r}")
+            ctx.options = options
+            ctx.opt_level = options.optimize
+        if name is not None:
+            ctx.module_name = name
+        if config is not None:
+            ctx.config = config
+    lowered = get_pipeline("build").run(schedule, ctx)
+    return Module(lowered, ctx.config)

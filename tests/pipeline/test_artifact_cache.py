@@ -1,0 +1,174 @@
+"""CompiledArtifact cache semantics: hits, invalidation, disk tier."""
+
+import numpy as np
+import pytest
+
+from repro.autotune.compile import CompileEngine, compile_params
+from repro.pipeline import ArtifactCache, CompiledArtifact, artifact_key
+from repro.upmem import FunctionalExecutor, UpmemConfig
+from repro.workloads import mtv
+
+PARAMS = {
+    "m_dpus": 8, "k_dpus": 1, "n_tasklets": 4, "cache": 16, "host_threads": 1,
+}
+
+
+@pytest.fixture
+def wl():
+    return mtv(64, 64)
+
+
+@pytest.fixture
+def engine():
+    return CompileEngine(cache=ArtifactCache())
+
+
+class TestKeying:
+    def test_same_inputs_same_key(self, wl):
+        assert artifact_key(wl, PARAMS) == artifact_key(mtv(64, 64), dict(PARAMS))
+
+    def test_param_order_irrelevant(self, wl):
+        shuffled = dict(reversed(list(PARAMS.items())))
+        assert artifact_key(wl, PARAMS) == artifact_key(wl, shuffled)
+
+    def test_key_varies_with_each_component(self, wl):
+        base = artifact_key(wl, PARAMS)
+        assert artifact_key(mtv(64, 128), PARAMS) != base
+        assert artifact_key(wl, {**PARAMS, "cache": 32}) != base
+        assert artifact_key(wl, PARAMS, config=UpmemConfig().with_(n_ranks=2)) != base
+        assert artifact_key(wl, PARAMS, opt_level="O1") != base
+        assert artifact_key(wl, PARAMS, pipeline="emit") != base
+
+
+class TestHitMiss:
+    def test_second_compile_hits(self, wl, engine):
+        first = engine.compile(wl, PARAMS)
+        assert engine.stats.misses == 1 and engine.stats.hits == 0
+        second = engine.compile(wl, PARAMS)
+        assert engine.stats.hits == 1
+        assert second is first
+        assert second.module is first.module
+
+    def test_equal_workload_objects_share_artifacts(self, engine):
+        engine.compile(mtv(64, 64), PARAMS)
+        engine.compile(mtv(64, 64), dict(PARAMS))
+        assert engine.stats.hits == 1
+
+    def test_different_combiner_same_body_does_not_alias(self):
+        from repro import te
+        from repro.pipeline import workload_signature
+        from repro.workloads import Workload
+
+        def make(reducer):
+            A = te.placeholder((64, 64), "float32", "A")
+            B = te.placeholder((64,), "float32", "B")
+            k = te.reduce_axis(64, "k")
+            C = te.compute((64,), lambda i: reducer(A[i, k] * B[k], axis=k), "C")
+            return Workload(
+                name="mtv", inputs=[A, B], output=C,
+                reference=lambda a, b: a @ b, flops=2.0 * 64 * 64,
+                shape=(64, 64), reduce_extent=64,
+            )
+
+        assert workload_signature(make(te.sum)) != workload_signature(
+            make(te.max_reduce)
+        )
+
+    def test_none_config_normalized_to_default(self, wl, engine):
+        from repro.upmem.config import DEFAULT_CONFIG
+
+        engine.compile(wl, PARAMS, config=None)
+        engine.compile(wl, PARAMS, config=DEFAULT_CONFIG)
+        assert engine.stats.hits == 1 and engine.stats.misses == 1
+
+    def test_config_change_invalidates(self, wl, engine):
+        engine.compile(wl, PARAMS, config=UpmemConfig())
+        engine.compile(wl, PARAMS, config=UpmemConfig().with_(n_ranks=2))
+        assert engine.stats.hits == 0 and engine.stats.misses == 2
+
+    def test_opt_level_change_invalidates(self, wl, engine):
+        o1 = engine.compile(wl, PARAMS, optimize="O1")
+        o3 = engine.compile(wl, PARAMS, optimize="O3")
+        assert engine.stats.misses == 2
+        assert o1.module is not o3.module
+
+    def test_params_change_invalidates(self, wl, engine):
+        engine.compile(wl, PARAMS)
+        engine.compile(wl, {**PARAMS, "n_tasklets": 8})
+        assert engine.stats.misses == 2
+
+
+class TestVerification:
+    def test_verdict_cached(self, wl, engine):
+        art = engine.compile(wl, PARAMS, check=True)
+        assert art.verified is True
+        again = engine.compile(wl, PARAMS, check=True)
+        assert again.verified is True and engine.stats.hits == 1
+
+    def test_unchecked_then_checked(self, wl, engine):
+        art = engine.compile(wl, PARAMS, check=False)
+        assert art.verified is None
+        art = engine.compile(wl, PARAMS, check=True)
+        assert art.verified is True
+
+    def test_invalid_for_small_system_cached(self, wl, engine):
+        tiny = UpmemConfig().with_(n_ranks=1, dpus_per_rank=4)
+        params = dict(PARAMS, m_dpus=64)
+        art = engine.compile(wl, params, config=tiny, check=True)
+        assert art.ok and art.verified is False
+        assert "DPU" in art.verify_reason
+        art2 = engine.compile(wl, params, config=tiny, check=True)
+        assert art2.verified is False and engine.stats.hits == 1
+
+    def test_compile_params_facade(self, wl):
+        tiny = UpmemConfig().with_(n_ranks=1, dpus_per_rank=4)
+        assert compile_params(wl, dict(PARAMS, m_dpus=64), config=tiny) is None
+        module = compile_params(wl, PARAMS)
+        assert module is not None and module.n_dpus == 8
+
+
+class TestDiskTier:
+    def test_roundtrip_across_cache_instances(self, wl, tmp_path):
+        disk = str(tmp_path / "artifacts")
+        hot = CompileEngine(cache=ArtifactCache(disk_dir=disk))
+        built = hot.compile(wl, PARAMS)
+        assert built.ok and hot.stats.misses == 1
+
+        cold = CompileEngine(cache=ArtifactCache(disk_dir=disk))
+        restored = cold.compile(wl, PARAMS)
+        assert cold.stats.hits == 1 and cold.stats.disk_hits == 1
+        assert restored.key == built.key
+
+        # The unpickled module still executes correctly.
+        rng = np.random.default_rng(0)
+        a = rng.random((64, 64), dtype=np.float32)
+        b = rng.random(64, dtype=np.float32)
+        out, = FunctionalExecutor(restored.module).run({"A": a, "B": b})
+        np.testing.assert_allclose(out, a @ b, rtol=1e-3)
+
+    def test_corrupt_disk_entry_is_miss(self, wl, tmp_path):
+        disk = str(tmp_path / "artifacts")
+        cache = ArtifactCache(disk_dir=disk)
+        engine = CompileEngine(cache=cache)
+        key = engine.compile(wl, PARAMS).key
+        cache.clear()
+        (tmp_path / "artifacts" / f"{key}.pkl").write_bytes(b"garbage")
+        art = engine.compile(wl, PARAMS)
+        assert art.ok
+        assert engine.stats.misses == 2 and engine.stats.disk_hits == 0
+
+
+class TestEviction:
+    def test_lru_bound(self):
+        cache = ArtifactCache(max_entries=2)
+        for i in range(4):
+            cache.put(CompiledArtifact(key=f"k{i}"))
+        assert len(cache) == 2
+        assert cache.get("k0") is None
+        assert cache.get("k3") is not None
+
+    def test_clear(self):
+        cache = ArtifactCache()
+        cache.put(CompiledArtifact(key="k"))
+        cache.clear()
+        assert len(cache) == 0
