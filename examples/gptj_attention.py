@@ -13,8 +13,8 @@ import argparse
 
 import numpy as np
 
+import repro
 from repro.autotune import autotune
-from repro.baselines import cpu_latency, prim_profile
 from repro.runtime import Module
 from repro.upmem.system import PerformanceModel
 from repro.workloads import GPTJ_6B, mha_mmtv
@@ -33,18 +33,19 @@ def main() -> None:
         f"({wl.footprint_mb:.1f} MB, batch={args.batch}, tokens={args.tokens})"
     )
 
-    prim = prim_profile(wl)
-    print(f"PrIM-style baseline : {prim.latency.total*1e3:8.3f} ms")
+    prim = repro.compile(wl, target="prim").latency
+    print(f"PrIM-style baseline : {prim*1e3:8.3f} ms")
 
     result = autotune(wl, n_trials=args.trials, seed=0)
     print(
         f"ATiM ({args.trials:3d} trials) : {result.best_latency*1e3:8.3f} ms"
         f"   params: {result.best_params}"
     )
-    print(f"CPU roofline        : {cpu_latency(wl)*1e3:8.3f} ms")
+    cpu = repro.compile(wl, target="cpu").latency
+    print(f"CPU roofline        : {cpu*1e3:8.3f} ms")
     print(
-        f"speedup vs PrIM: {prim.latency.total/result.best_latency:.2f}x,"
-        f" vs CPU: {cpu_latency(wl)/result.best_latency:.2f}x"
+        f"speedup vs PrIM: {prim/result.best_latency:.2f}x,"
+        f" vs CPU: {cpu/result.best_latency:.2f}x"
     )
 
     # Validate the tuned module functionally on a scaled-down instance.

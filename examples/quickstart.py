@@ -1,35 +1,72 @@
-"""Quickstart: define, schedule, compile and run a tensor program.
+"""Quickstart: compile and run tensor programs through the target front end.
 
-Walks the full ATiM flow by hand on a matrix-vector product:
+Walks the ATiM flow around the single entry point
+``repro.compile(workload_or_schedule, target=...)``:
 
-1. declare the computation with the TE DSL;
-2. schedule it with the Table-2 primitives (DPU binding, tasklet binding,
-   WRAM caching, hierarchical reduction);
-3. build for the simulated UPMEM system through the named ``build``
-   pipeline, with per-pass timing collected in a ``PassContext``;
-4. run functionally and inspect the simulated latency breakdown and the
-   generated UPMEM-C kernel.
+1. compile a standard workload for the simulated UPMEM system, run it
+   functionally (single input and a thread-pool-sharded batch) and
+   inspect the simulated latency breakdown;
+2. hand-build a schedule with the Table-2 primitives (DPU binding,
+   tasklet binding, WRAM caching, hierarchical reduction) and compile it
+   through the same front door, with per-pass timing in a PassContext;
+3. compare one workload across every registered target — UPMEM, the
+   PrIM/SimplePIM baselines, the CPU/GPU rooflines and the HBM-PIM
+   estimate — in one generic loop.
 
 Run:  python examples/quickstart.py
 """
 
 import numpy as np
 
-from repro import PassContext, build, te
+import repro
+from repro import PassContext, te
 from repro.schedule import Schedule
+from repro.workloads import make_workload, mtv
 
 M, K = 1024, 1024
 
 
-def main() -> None:
-    # 1. Computation: C(i) = sum_k A(i,k) * B(k)
+def compile_workload() -> None:
+    # 1. One call: workload -> executable for the UPMEM target.  The
+    #    target picks canonical sketch parameters (run the autotuner for
+    #    tuned ones) and compiles through the shared pass pipeline.
+    wl = mtv(M, K)
+    exe = repro.compile(wl, target="upmem")
+
+    rng = np.random.default_rng(0)
+    a = rng.random((M, K), dtype=np.float32)
+    b = rng.random(K, dtype=np.float32)
+    (out,) = exe.run(A=a, B=b)
+    np.testing.assert_allclose(out, a @ b, rtol=1e-3)
+    print("functional check: OK")
+
+    # Independent inputs shard across a thread pool, per DPU group —
+    # bit-for-bit identical to sequential run() calls.
+    batch = [
+        {"A": rng.random((M, K), dtype=np.float32),
+         "B": rng.random(K, dtype=np.float32)}
+        for _ in range(4)
+    ]
+    outs = exe.run_batch(batch, max_workers=4)
+    print(f"run_batch: {len(outs)} results")
+
+    lat = exe.profile().latency
+    print(
+        f"simulated latency: total {lat.total*1e3:.3f} ms  "
+        f"(h2d {lat.h2d*1e3:.3f}, kernel {lat.kernel*1e3:.3f}, "
+        f"d2h {lat.d2h*1e3:.3f}, host {lat.host*1e3:.3f})"
+    )
+
+
+def compile_schedule() -> None:
+    # 2. Explicit schedules compile through the same front door.
+    #    C(i) = sum_k A(i,k) * B(k), 64 DPUs on rows x 4 on the
+    #    reduction (rfactor), 16 tasklets, 64-element WRAM tiles.
     A = te.placeholder((M, K), "float32", "A")
     B = te.placeholder((K,), "float32", "B")
     k = te.reduce_axis(K, "k")
     C = te.compute((M,), lambda i: te.sum(A[i, k] * B[k], axis=k), "C")
 
-    # 2. Schedule: 64 DPUs on rows x 4 DPUs on the reduction (rfactor),
-    #    16 tasklets per DPU, 64-element WRAM caching tiles.
     sch = Schedule(C)
     s = sch[C]
     k_dpu, _ = s.split(s.op.reduce_axis[0], nparts=4)
@@ -51,32 +88,34 @@ def main() -> None:
     fo, _ = final.split(final.op.axis[0], nparts=16)
     final.parallel(fo)  # host post-processing
 
-    # 3. Compile (PIM-aware optimizations O3 by default).  The build
-    #    routes through the shared pass pipeline; the context records
-    #    what ran and how long each pass took.
     ctx = PassContext()
-    mod = build(sch, name="mtv_quickstart", ctx=ctx)
+    exe = repro.compile(sch, target="upmem", name="mtv_quickstart", ctx=ctx)
     print("--- compile pipeline ---")
     print(ctx.timing_report())
+    print(f"grid: {exe.lowered.n_dpus} DPUs x {exe.lowered.n_tasklets} tasklets")
+    print("--- generated UPMEM-C kernel (excerpt) ---")
+    print("\n".join(exe.source().splitlines()[:20]))
 
-    # 4. Run and check.
-    rng = np.random.default_rng(0)
-    a = rng.random((M, K), dtype=np.float32)
-    b = rng.random(K, dtype=np.float32)
-    (out,) = mod.run(A=a, B=b)
-    np.testing.assert_allclose(out, a @ b, rtol=1e-3)
-    print("functional check: OK")
 
-    prof = mod.profile()
-    lat = prof.latency
-    print(
-        f"simulated latency: total {lat.total*1e3:.3f} ms  "
-        f"(h2d {lat.h2d*1e3:.3f}, kernel {lat.kernel*1e3:.3f}, "
-        f"d2h {lat.d2h*1e3:.3f}, host {lat.host*1e3:.3f})"
-    )
-    print(f"grid: {mod.lowered.n_dpus} DPUs x {mod.lowered.n_tasklets} tasklets")
-    print("\n--- generated UPMEM-C kernel (excerpt) ---")
-    print("\n".join(mod.source().splitlines()[:40]))
+def compare_targets() -> None:
+    # 3. Multi-target comparison: one loop, no per-backend special cases.
+    wl = make_workload("mtv", "64MB")
+    print(f"--- {wl.name} 64MB across targets ---")
+    for kind in repro.list_targets():
+        target = repro.get_target(kind)
+        if not target.supports(wl):
+            print(f"{kind:10s} (not supported)")
+            continue
+        exe = repro.compile(wl, target=target)
+        print(f"{kind:10s} {exe.latency * 1e3:10.3f} ms")
+
+
+def main() -> None:
+    compile_workload()
+    print()
+    compile_schedule()
+    print()
+    compare_targets()
 
 
 if __name__ == "__main__":

@@ -2,30 +2,69 @@
 
 Public API::
 
-    from repro import te, build
-    from repro.schedule import Schedule
+    import repro
+    from repro.workloads import mtv
     from repro.autotune import autotune
 
-    A = te.placeholder((M, K), "float32", "A")
-    ...
-    mod = build(sch, name="mtv")
-    out, = mod.run(A=a, B=b)
-    print(mod.profile().latency.total)
+    exe = repro.compile(mtv(4096, 4096), target="upmem")
+    out, = exe.run(A=a, B=b)
+    outs = exe.run_batch([{"A": a0, "B": b0}, {"A": a1, "B": b1}])
+    print(exe.latency, repro.list_targets())
+
+Explicit schedules still compile the same way::
+
+    sch = Schedule(...)              # Table-2 primitives
+    exe = repro.compile(sch, target="upmem")
 """
+
+import warnings as _warnings
 
 from . import pipeline, te, tir
 from .lowering import LowerOptions, lower
 from .pipeline import PassContext, PassManager, get_pipeline
-from .runtime import Module, build
+from .runtime import Module
+from .runtime import build as _schedule_build
 from .schedule import Schedule
+from .target import (
+    Executable,
+    Target,
+    TargetError,
+    compile,
+    get_target,
+    list_targets,
+    register_target,
+)
 from .upmem import DEFAULT_CONFIG, UpmemConfig
 
-__version__ = "0.2.0"
+__version__ = "0.3.0"
+
+
+def build(*args, **kwargs) -> Module:
+    """Deprecated: use ``repro.compile(schedule, target="upmem")``.
+
+    Compiles a schedule into an executable module via the ``build``
+    pipeline; kept as a thin shim over the target-centric front end.
+    """
+    _warnings.warn(
+        "repro.build is deprecated; use"
+        " repro.compile(schedule, target=\"upmem\")",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _schedule_build(*args, **kwargs)
+
 
 __all__ = [
     "te",
     "tir",
     "pipeline",
+    "compile",
+    "Target",
+    "TargetError",
+    "Executable",
+    "get_target",
+    "list_targets",
+    "register_target",
     "build",
     "Module",
     "lower",

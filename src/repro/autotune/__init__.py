@@ -10,7 +10,7 @@ from .sketch import (
     param_space,
     subspace_of,
 )
-from .tuner import Candidate, TuneResult, Tuner, autotune
+from .tuner import Candidate, TuneResult, Tuner, autotune, seed_params
 from .verifier import verify
 
 __all__ = [
@@ -27,6 +27,7 @@ __all__ = [
     "extract_features",
     "FEATURE_NAMES",
     "generate_schedule",
+    "seed_params",
     "param_space",
     "subspace_of",
     "SketchError",

@@ -60,11 +60,17 @@ class CompileEngine:
         optimize: str = "O3",
         config: Optional[UpmemConfig] = None,
         check: bool = True,
+        target: object = None,
     ) -> CompiledArtifact:
         """Sketch → lower → optimize (→ verify); always returns an artifact.
 
         Check ``artifact.ok`` (and ``artifact.verified`` when ``check``)
-        before using ``artifact.module``.
+        before using ``artifact.module``.  ``target`` (a
+        :class:`repro.target.Target`, when compiling on behalf of one)
+        contributes its ``cache_token()`` to the cache key: ``None`` for
+        targets whose compilation the key already fully describes (they
+        share artifacts with equivalent compiles), a stable token for
+        targets that alter compilation beyond the standard knobs.
 
         **Immutability contract:** cache hits return the *shared* cached
         ``LoweredModule`` — callers must treat it as read-only (executing
@@ -76,7 +82,12 @@ class CompileEngine:
         # one cache entry (callers spell the default both ways).
         config = config if config is not None else DEFAULT_CONFIG
         key = artifact_key(
-            workload, params, config, opt_level=optimize, pipeline=self.pipeline
+            workload,
+            params,
+            config,
+            opt_level=optimize,
+            pipeline=self.pipeline,
+            target=target,
         )
         artifact = self.cache.get(key)
         if artifact is None:

@@ -24,7 +24,6 @@ import numpy as np
 
 from ..pipeline import ArtifactCache, CacheStats
 from ..upmem.config import DEFAULT_CONFIG, UpmemConfig
-from ..upmem.system import PerformanceModel
 from ..workloads import Workload
 from .compile import CompileEngine
 from .cost_model import CostModel
@@ -32,7 +31,63 @@ from .database import Database, TuningRecord
 from .features import extract_features
 from .sketch import param_space, subspace_of
 
-__all__ = ["Candidate", "TuneResult", "Tuner", "autotune"]
+__all__ = ["Candidate", "TuneResult", "Tuner", "autotune", "seed_params"]
+
+
+def seed_params(
+    space: Dict[str, List[int]], n_dpus: int
+) -> List[Dict[str, int]]:
+    """Canonical sketch defaults for a parameter space (one per design
+    subspace), ordered best-guess first.
+
+    Mirrors Ansor/MetaSchedule seeding the population with each sketch's
+    default before evolution starts: a max-parallelism plain candidate
+    and, where the space has a reduction dimension, an rfactor variant.
+    Shared by the tuner's warm start and by targets that need a sensible
+    un-tuned schedule (``repro.compile(workload, target=...)`` without
+    explicit params).
+    """
+    seeds: List[Dict[str, int]] = []
+    base: Dict[str, int] = {}
+    budget = n_dpus
+    for key, domain in space.items():
+        if key in ("n_dpus", "i_dpus", "m_dpus"):
+            base[key] = max(d for d in domain if d <= budget)
+            budget //= base[key]
+        elif key == "j_dpus":
+            base[key] = max(d for d in domain if d <= max(1, budget))
+            budget //= base[key]
+        elif key == "k_dpus":
+            base[key] = 1
+        elif key == "n_tasklets":
+            base[key] = 16 if 16 in domain else domain[-1]
+        elif key == "cache":
+            base[key] = 64 if 64 in domain else domain[-1]
+        elif key == "host_threads":
+            base[key] = domain[-1]
+        else:
+            base[key] = domain[0]
+    seeds.append(base)
+    if "k_dpus" in space and len(space["k_dpus"]) > 1:
+        rf = dict(base)
+        rf["k_dpus"] = max(d for d in space["k_dpus"] if d <= max(1, budget))
+        if rf["k_dpus"] == 1 and len(space["k_dpus"]) > 1:
+            # Trade spatial DPUs for reduction DPUs.
+            shrink = "m_dpus" if "m_dpus" in rf else "i_dpus"
+            domain = space[shrink]
+            idx = domain.index(rf[shrink])
+            rf[shrink] = domain[max(0, idx - 2)]
+            rf["k_dpus"] = space["k_dpus"][min(2, len(space["k_dpus"]) - 1)]
+        seeds.append(rf)
+    if "dpu_combine" in space:
+        alt = dict(base)
+        alt["dpu_combine"] = 1
+        seeds.append(alt)
+    big_cache = dict(base)
+    big_cache["cache"] = 256 if 256 in space.get("cache", []) else base["cache"]
+    if big_cache != base:
+        seeds.append(big_cache)
+    return seeds
 
 
 @dataclass
@@ -95,6 +150,7 @@ class Tuner:
         self,
         workload: Workload,
         config: Optional[UpmemConfig] = None,
+        target: Optional[object] = None,
         n_trials: int = 256,
         batch_size: int = 16,
         seed: int = 0,
@@ -107,8 +163,21 @@ class Tuner:
         engine: Optional[CompileEngine] = None,
         cache: Optional[ArtifactCache] = None,
     ) -> None:
+        # ``target`` supersedes the raw-config interface: candidates are
+        # sketched on the UPMEM grid but *scored* by the target's own
+        # performance model, so the same search drives UPMEM, HBM-PIM or
+        # any registered backend.  ``config`` is kept as sugar for an
+        # UPMEM target with a custom machine description.
+        from ..target import UpmemTarget, get_target
+
+        if target is not None:
+            if config is not None:
+                raise ValueError("pass either target or config, not both")
+            self.target = get_target(target)
+        else:
+            self.target = UpmemTarget(config=config or DEFAULT_CONFIG)
         self.workload = workload
-        self.config = config or DEFAULT_CONFIG
+        self.config = self.target.search_config
         self.n_trials = n_trials
         self.batch_size = batch_size
         self.rng = random.Random(seed)
@@ -124,7 +193,6 @@ class Tuner:
         self.space = param_space(workload, max_dpus=self.config.n_dpus)
         self.database = Database()
         self.cost_model = CostModel()
-        self.perf = PerformanceModel(self.config)
         #: Every candidate compiles through the shared pass pipeline via
         #: this engine; a tuner-private cache keeps artifacts scoped to
         #: the run (pass an engine or cache to share across runs —
@@ -156,7 +224,11 @@ class Tuner:
 
     def _build(self, params: Dict[str, int]) -> Optional[Candidate]:
         artifact = self.engine.compile(
-            self.workload, params, optimize=self.optimize, config=self.config
+            self.workload,
+            params,
+            optimize=self.optimize,
+            config=self.config,
+            target=self.target,
         )
         if not artifact.ok or not artifact.verified:
             return None
@@ -179,58 +251,8 @@ class Tuner:
         return 0.5 + (0.05 - 0.5) * frac
 
     def _seed_params(self) -> List[Dict[str, int]]:
-        """Canonical defaults measured first (one per design subspace).
-
-        Mirrors Ansor/MetaSchedule seeding the population with each
-        sketch's default before evolution starts: a max-parallelism plain
-        candidate and, where the space has a reduction dimension, an
-        rfactor variant.
-        """
-        seeds: List[Dict[str, int]] = []
-        base = {}
-        budget = self.config.n_dpus
-        for key, domain in self.space.items():
-            if key in ("n_dpus", "i_dpus", "m_dpus"):
-                base[key] = max(d for d in domain if d <= budget)
-                budget //= base[key]
-            elif key == "j_dpus":
-                base[key] = max(d for d in domain if d <= max(1, budget))
-                budget //= base[key]
-            elif key == "k_dpus":
-                base[key] = 1
-            elif key == "n_tasklets":
-                base[key] = 16 if 16 in domain else domain[-1]
-            elif key == "cache":
-                base[key] = 64 if 64 in domain else domain[-1]
-            elif key == "host_threads":
-                base[key] = domain[-1]
-            else:
-                base[key] = domain[0]
-        seeds.append(base)
-        if "k_dpus" in self.space and len(self.space["k_dpus"]) > 1:
-            rf = dict(base)
-            rf["k_dpus"] = max(
-                d for d in self.space["k_dpus"] if d <= max(1, budget)
-            )
-            if rf["k_dpus"] == 1 and len(self.space["k_dpus"]) > 1:
-                # Trade spatial DPUs for reduction DPUs.
-                shrink = "m_dpus" if "m_dpus" in rf else "i_dpus"
-                domain = self.space[shrink]
-                idx = domain.index(rf[shrink])
-                rf[shrink] = domain[max(0, idx - 2)]
-                rf["k_dpus"] = self.space["k_dpus"][
-                    min(2, len(self.space["k_dpus"]) - 1)
-                ]
-            seeds.append(rf)
-        if "dpu_combine" in self.space:
-            alt = dict(base)
-            alt["dpu_combine"] = 1
-            seeds.append(alt)
-        big_cache = dict(base)
-        big_cache["cache"] = 256 if 256 in self.space.get("cache", []) else base["cache"]
-        if big_cache != base:
-            seeds.append(big_cache)
-        return seeds
+        """Canonical defaults measured first (one per design subspace)."""
+        return seed_params(self.space, self.config.n_dpus)
 
     def _sample_pool(self, size: int) -> List[Candidate]:
         pool: List[Candidate] = []
@@ -310,7 +332,7 @@ class Tuner:
 
     # -- measurement ----------------------------------------------------------------
     def _measure(self, cand: Candidate) -> float:
-        return self.perf.profile(cand.module).latency.total
+        return self.target.measure(cand.module, self.workload)
 
     def _measure_batch(self, batch: Sequence[Candidate]) -> List[float]:
         """Evaluate a measurement batch on the simulated system.
@@ -388,11 +410,23 @@ def autotune(
     workload: Workload,
     n_trials: int = 256,
     config: Optional[UpmemConfig] = None,
+    target: Optional[object] = None,
     seed: int = 0,
     **kwargs,
 ) -> TuneResult:
-    """Autotune a workload on the simulated UPMEM system (ATiM's flow)."""
+    """Autotune a workload (ATiM's flow).
+
+    ``target`` selects the backend whose performance model scores the
+    candidates (default: the simulated UPMEM system); pass a kind string
+    (``"upmem"``, ``"hbm-pim"``, ...) or a configured
+    :class:`repro.target.Target` instance.
+    """
     tuner = Tuner(
-        workload, config=config, n_trials=n_trials, seed=seed, **kwargs
+        workload,
+        config=config,
+        target=target,
+        n_trials=n_trials,
+        seed=seed,
+        **kwargs,
     )
     return tuner.tune()

@@ -9,7 +9,7 @@ from .prim import (
     prim_profile,
     prim_search_profile,
 )
-from .simplepim import SIMPLEPIM_WORKLOADS, simplepim_profile
+from .simplepim import SIMPLEPIM_WORKLOADS, simplepim_build, simplepim_profile
 
 __all__ = [
     "CpuModel",
@@ -22,6 +22,7 @@ __all__ = [
     "prim_e_profile",
     "prim_search_profile",
     "PRIM_DEFAULT_DPUS",
+    "simplepim_build",
     "simplepim_profile",
     "SIMPLEPIM_WORKLOADS",
 ]

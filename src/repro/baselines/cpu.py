@@ -9,6 +9,7 @@ at 4 MB, PIM ahead up to ~23× at ≥64 MB for reductions).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Optional
 
@@ -66,10 +67,32 @@ class GpuModel:
 
 
 def cpu_latency(workload: Workload, model: Optional[CpuModel] = None) -> float:
-    """Latency of the CPU-autotuned baseline for a workload (seconds)."""
-    return (model or CpuModel()).latency(workload)
+    """Deprecated: use ``repro.compile(workload, target="cpu").latency``.
+
+    Latency of the CPU-autotuned baseline for a workload (seconds).
+    """
+    warnings.warn(
+        "cpu_latency is deprecated; use"
+        " repro.compile(workload, target=\"cpu\").latency",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from ..target import CpuTarget
+
+    return CpuTarget(model=model).compile(workload).latency
 
 
 def gpu_latency(workload: Workload, model: Optional[GpuModel] = None) -> float:
-    """Latency of the GPU baseline for a workload (seconds)."""
-    return (model or GpuModel()).latency(workload)
+    """Deprecated: use ``repro.compile(workload, target="gpu").latency``.
+
+    Latency of the GPU baseline for a workload (seconds).
+    """
+    warnings.warn(
+        "gpu_latency is deprecated; use"
+        " repro.compile(workload, target=\"gpu\").latency",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from ..target import GpuTarget
+
+    return GpuTarget(model=model).compile(workload).latency

@@ -17,6 +17,7 @@ hand-written kernels:
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..autotune.compile import compile_params
@@ -32,6 +33,10 @@ __all__ = [
     "prim_e_profile",
     "prim_search_profile",
     "PRIM_DEFAULT_DPUS",
+    "PRIM_E_TASKLET_RANGE",
+    "PRIM_E_CACHE_RANGE",
+    "PRIM_SEARCH_TASKLET_RANGE",
+    "PRIM_SEARCH_CACHE_RANGE",
 ]
 
 #: Paper Table 3, "PrIM DPUs" column, keyed by (workload, size label).
@@ -66,6 +71,14 @@ PRIM_DEFAULT_DPUS: Dict[Tuple[str, str], int] = {
 
 _PRIM_TASKLETS = 16
 _PRIM_CACHE_ELEMS = 256  # 1024 bytes of float32, the PrIM guide default
+
+#: Grid-search domains of the PrIM(E) / PrIM+search variants (§6): one
+#: definition shared by the profile functions below and the ``prim``
+#: target, so the two surfaces can never drift apart.
+PRIM_E_TASKLET_RANGE = (_PRIM_TASKLETS,)
+PRIM_E_CACHE_RANGE = (_PRIM_CACHE_ELEMS,)
+PRIM_SEARCH_TASKLET_RANGE = (1, 2, 4, 8, 16, 24)
+PRIM_SEARCH_CACHE_RANGE = (8, 16, 32, 64, 128, 256)
 
 
 def _default_dpus(workload: Workload, size: Optional[str]) -> int:
@@ -153,8 +166,16 @@ def prim_profile(
     size: Optional[str] = None,
     config: Optional[UpmemConfig] = None,
 ) -> ProfileResult:
-    cfg = config or DEFAULT_CONFIG
-    return PerformanceModel(cfg).profile(prim_module(workload, size, cfg))
+    """Deprecated: use ``repro.compile(workload, target="prim")``."""
+    warnings.warn(
+        "prim_profile is deprecated; use"
+        " repro.compile(workload, target=\"prim\", size=...).profile()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from ..target import PrimTarget
+
+    return PrimTarget(config=config).compile(workload, size=size).profile()
 
 
 def _grid_search(
@@ -198,8 +219,8 @@ def prim_e_profile(
     prof, _params = _grid_search(
         workload,
         _dpu_search_range(workload),
-        [_PRIM_TASKLETS],
-        [_PRIM_CACHE_ELEMS],
+        PRIM_E_TASKLET_RANGE,
+        PRIM_E_CACHE_RANGE,
         config,
     )
     return prof
@@ -212,7 +233,7 @@ def prim_search_profile(
     return _grid_search(
         workload,
         _dpu_search_range(workload),
-        [1, 2, 4, 8, 16, 24],
-        [8, 16, 32, 64, 128, 256],
+        PRIM_SEARCH_TASKLET_RANGE,
+        PRIM_SEARCH_CACHE_RANGE,
         config,
     )

@@ -15,15 +15,17 @@ documented framework overheads (paper §7.1):
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import replace
-from typing import Optional
+from typing import Optional, Tuple
 
 from ..autotune.compile import compile_params
+from ..lowering import LoweredModule
 from ..upmem.config import DEFAULT_CONFIG, UpmemConfig
 from ..upmem.system import Latency, PerformanceModel, ProfileResult
 from ..workloads import Workload
 
-__all__ = ["simplepim_profile", "SIMPLEPIM_WORKLOADS"]
+__all__ = ["simplepim_build", "simplepim_profile", "SIMPLEPIM_WORKLOADS"]
 
 SIMPLEPIM_WORKLOADS = ("va", "geva", "red")
 
@@ -36,10 +38,12 @@ _HOST_COPY_BANDWIDTH = 3.0e9
 _HOST_REDUCE_OVERHEAD = 4.0e-8
 
 
-def simplepim_profile(
+def simplepim_build(
     workload: Workload, config: Optional[UpmemConfig] = None
-) -> ProfileResult:
-    """Latency profile of the SimplePIM implementation of a workload."""
+) -> Tuple[LoweredModule, ProfileResult]:
+    """The SimplePIM implementation of a workload: the compiled module
+    (its structure matches the framework's handlers) plus the latency
+    profile with the documented framework overheads applied."""
     if workload.name not in SIMPLEPIM_WORKLOADS:
         raise KeyError(
             f"SimplePIM provides only {SIMPLEPIM_WORKLOADS}, not"
@@ -57,7 +61,7 @@ def simplepim_profile(
         # re-materializes the full output array).
         extra_d2h = workload.bytes_out / _HOST_COPY_BANDWIDTH
         latency = replace(prof.latency, d2h=prof.latency.d2h + extra_d2h)
-        return ProfileResult(
+        return module, ProfileResult(
             latency=latency,
             dpu=prof.dpu,
             kernel_counts=prof.kernel_counts,
@@ -87,10 +91,33 @@ def simplepim_profile(
         kernel=prof.latency.kernel + extra_kernel,
         host=prof.latency.host + extra_host,
     )
-    return ProfileResult(
+    return module, ProfileResult(
         latency=latency,
         dpu=prof.dpu,
         kernel_counts=prof.kernel_counts,
         n_dpus=prof.n_dpus,
         n_tasklets=prof.n_tasklets,
     )
+
+
+def simplepim_profile(
+    workload: Workload, config: Optional[UpmemConfig] = None
+) -> ProfileResult:
+    """Deprecated: use ``repro.compile(workload, target="simplepim")``.
+
+    Latency profile of the SimplePIM implementation of a workload.
+    """
+    warnings.warn(
+        "simplepim_profile is deprecated; use"
+        " repro.compile(workload, target=\"simplepim\").profile()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from ..target import SimplePimTarget, TargetError
+
+    try:
+        return SimplePimTarget(config=config).compile(workload).profile()
+    except TargetError as exc:
+        # Preserve this shim's historical contract (KeyError on
+        # unsupported workloads).
+        raise KeyError(str(exc)) from None

@@ -12,6 +12,11 @@ reports (a feasibility estimate, not a full backend): it maps a lowered
 module's per-DPU tiles onto PU command streams and estimates latency from
 command counts, showing that the two-level binding the paper describes
 (bank level + PU level) drops out of the existing grid/tile structure.
+
+The user-facing surface is the first-class ``hbm-pim`` target
+(``repro.compile(workload, target="hbm-pim")``, cross-target tuning via
+``autotune(wl, target="hbm-pim")``); this module provides the estimator
+and registers the ``hbm-pim`` pipeline it runs on.
 """
 
 from __future__ import annotations

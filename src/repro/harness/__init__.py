@@ -1,6 +1,7 @@
 """Experiment harness: one driver per paper figure/table + text reports."""
 
 from .experiments import (
+    compare_targets,
     fig3a_cache_tile_sweep,
     fig3b_tiling_schemes,
     fig3c_dpu_sweep,
@@ -21,6 +22,7 @@ from .reporting import render_curve, render_table, summarize_speedups
 __all__ = [
     "profile_params",
     "compile_cache_stats",
+    "compare_targets",
     "fig3a_cache_tile_sweep",
     "fig3b_tiling_schemes",
     "fig3c_dpu_sweep",

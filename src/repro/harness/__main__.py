@@ -7,11 +7,17 @@ Usage::
     python -m repro.harness fig12
     python -m repro.harness fig14 --trials 256
     python -m repro.harness all --trials 32
+    python -m repro.harness fig9 --json results/BENCH_fig9.json
+
+``--json`` writes the raw figure rows plus compile-cache statistics as
+machine-readable JSON (``BENCH_*.json``-style), so successive runs can
+be diffed to track the performance trajectory across PRs.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from . import experiments
@@ -23,46 +29,53 @@ def _print_rows(rows, title: str) -> None:
     print()
 
 
-def run_experiment(name: str, args: argparse.Namespace) -> None:
+def run_experiment(name: str, args: argparse.Namespace):
+    """Run one experiment: prints its text report, returns its raw data."""
     if name == "fig3a":
-        _print_rows(experiments.fig3a_cache_tile_sweep(), "Fig 3a")
+        data = experiments.fig3a_cache_tile_sweep()
+        _print_rows(data, "Fig 3a")
     elif name == "fig3b":
-        _print_rows(experiments.fig3b_tiling_schemes(), "Fig 3b")
+        data = experiments.fig3b_tiling_schemes()
+        _print_rows(data, "Fig 3b")
     elif name == "fig3c":
-        _print_rows(experiments.fig3c_dpu_sweep(), "Fig 3c")
+        data = experiments.fig3c_dpu_sweep()
+        _print_rows(data, "Fig 3c")
     elif name == "fig4":
-        _print_rows(experiments.fig4_boundary_checks(), "Fig 4")
+        data = experiments.fig4_boundary_checks()
+        _print_rows(data, "Fig 4")
     elif name == "fig9":
-        rows = experiments.fig9_tensor_ops(
+        data = experiments.fig9_tensor_ops(
             workloads=args.workloads or None,
             sizes=args.sizes or None,
             n_trials=args.trials,
             seed=args.seed,
         )
-        _print_rows(rows, "Fig 9")
+        _print_rows(data, "Fig 9")
     elif name == "tab3":
-        rows = experiments.table3_parameters(
+        data = experiments.table3_parameters(
             workloads=args.workloads or None, n_trials=args.trials,
             seed=args.seed,
         )
-        _print_rows(rows, "Table 3")
+        _print_rows(data, "Table 3")
     elif name == "fig10":
-        rows = experiments.fig10_gptj(n_trials=args.trials, seed=args.seed)
-        _print_rows(rows, "Fig 10")
+        data = experiments.fig10_gptj(n_trials=args.trials, seed=args.seed)
+        _print_rows(data, "Fig 10")
     elif name == "fig11":
-        _print_rows(
-            experiments.fig11_mmtv_scaling(n_trials=args.trials, seed=args.seed),
-            "Fig 11",
-        )
-    elif name == "fig12":
-        _print_rows(experiments.fig12_pim_opts(), "Fig 12")
-    elif name == "fig13":
-        _print_rows(experiments.fig13_breakdown(), "Fig 13")
-    elif name == "fig14":
-        curves = experiments.fig14_search_strategies(
+        data = experiments.fig11_mmtv_scaling(
             n_trials=args.trials, seed=args.seed
         )
-        for label, curve in curves.items():
+        _print_rows(data, "Fig 11")
+    elif name == "fig12":
+        data = experiments.fig12_pim_opts()
+        _print_rows(data, "Fig 12")
+    elif name == "fig13":
+        data = experiments.fig13_breakdown()
+        _print_rows(data, "Fig 13")
+    elif name == "fig14":
+        data = experiments.fig14_search_strategies(
+            n_trials=args.trials, seed=args.seed
+        )
+        for label, curve in data.items():
             print(render_curve(curve, title=f"Fig 14: {label}"))
             print()
     elif name == "fig15":
@@ -75,12 +88,51 @@ def run_experiment(name: str, args: argparse.Namespace) -> None:
         print(sorted(data["cpu_measured"])[:10], "...")
     else:
         raise SystemExit(f"unknown experiment {name!r}")
+    return data
 
 
 EXPERIMENTS = (
     "fig3a", "fig3b", "fig3c", "fig4", "fig9", "tab3", "fig10",
     "fig11", "fig12", "fig13", "fig14", "fig15",
 )
+
+
+def _jsonable(obj):
+    """Best-effort conversion of experiment data to JSON-safe values."""
+    if isinstance(obj, dict):
+        return {str(k): _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    if isinstance(obj, bool) or obj is None or isinstance(obj, (int, str)):
+        return obj
+    if isinstance(obj, float):
+        return obj if obj == obj and abs(obj) != float("inf") else repr(obj)
+    if hasattr(obj, "item"):  # numpy scalars
+        return _jsonable(obj.item())
+    return repr(obj)
+
+
+def write_json(path: str, results, args: argparse.Namespace) -> None:
+    """Dump figure rows + compile-cache stats as machine-readable JSON."""
+    stats = experiments.compile_cache_stats()
+    payload = {
+        "experiments": _jsonable(results),
+        "cache_stats": {
+            "hits": stats.hits,
+            "misses": stats.misses,
+            "disk_hits": stats.disk_hits,
+            "hit_rate": stats.hit_rate,
+        },
+        "settings": {
+            "trials": args.trials,
+            "seed": args.seed,
+            "workloads": args.workloads,
+            "sizes": args.sizes,
+        },
+    }
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
 
 
 def main(argv=None) -> int:
@@ -98,11 +150,19 @@ def main(argv=None) -> int:
         "--cache-stats", action="store_true",
         help="print compile-cache hit/miss counters after the run",
     )
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also dump figure rows + cache stats as JSON to PATH",
+    )
     args = parser.parse_args(argv)
 
     names = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
+    results = {}
     for name in names:
-        run_experiment(name, args)
+        results[name] = run_experiment(name, args)
+    if args.json:
+        write_json(args.json, results, args)
+        print(f"wrote JSON results to {args.json}")
     if args.cache_stats:
         stats = experiments.compile_cache_stats()
         print(

@@ -14,16 +14,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..autotune import Tuner, autotune
 from ..autotune.compile import default_engine
 from ..pipeline import CacheStats
-from ..baselines import (
-    CpuModel,
-    GpuModel,
-    cpu_latency,
-    prim_e_profile,
-    prim_params,
-    prim_profile,
-    prim_search_profile,
-    simplepim_profile,
-)
+from ..baselines import CpuModel, GpuModel
+from ..target import CpuTarget, PrimTarget, SimplePimTarget, Target
 from ..upmem.config import DEFAULT_CONFIG, UpmemConfig
 from ..upmem.system import PerformanceModel, ProfileResult
 from ..workloads import (
@@ -43,6 +35,7 @@ from ..workloads import (
 __all__ = [
     "profile_params",
     "compile_cache_stats",
+    "compare_targets",
     "fig3a_cache_tile_sweep",
     "fig3b_tiling_schemes",
     "fig3c_dpu_sweep",
@@ -237,6 +230,59 @@ def fig4_boundary_checks(
 # ---------------------------------------------------------------------------
 # Fig. 9 / Table 3 — autotuned tensor-program performance
 # ---------------------------------------------------------------------------
+#
+# Every "ATiM vs the world" figure is one generic loop over baseline
+# :class:`~repro.target.Target` objects: each target compiles the
+# workload its own way and reports a uniform ``latency``, so adding a
+# backend to a comparison means appending a Target instance, not wiring
+# a new special case.
+
+
+def _baseline_targets(config: Optional[UpmemConfig] = None) -> Tuple[Target, ...]:
+    """The paper's baseline systems as Target objects (Fig. 9 order)."""
+    return (
+        PrimTarget(config=config),
+        PrimTarget(variant="e", config=config),
+        PrimTarget(variant="search", config=config),
+        SimplePimTarget(config=config),
+        CpuTarget(),
+    )
+
+
+def compare_targets(
+    workload: Workload,
+    targets: Sequence[Target],
+    n_trials: int = 48,
+    seed: int = 0,
+    size: Optional[str] = None,
+    meta: Optional[Dict] = None,
+) -> Dict:
+    """One comparison row: every baseline target vs autotuned ATiM.
+
+    Produces ``<label>_ms`` and ``atim_speedup_vs_<label>`` columns per
+    supporting target plus ``atim_ms`` / ``atim_params``; targets that
+    do not support the workload (e.g. SimplePIM outside va/geva/red) are
+    skipped, matching the paper's figures.
+    """
+    row: Dict = dict(meta or {})
+    latencies: Dict[str, float] = {}
+    for target in targets:
+        if not target.supports(workload):
+            continue
+        exe = target.compile(workload, size=size)
+        latencies[target.label] = exe.latency
+        row[f"{target.label}_ms"] = exe.latency * 1e3
+        if exe.params is not None and target.label != "prim":
+            row[f"{target.label}_params"] = exe.params
+    tune = autotune(
+        workload, n_trials=n_trials, seed=seed, engine=default_engine()
+    )
+    row["atim_ms"] = tune.best_latency * 1e3
+    for label, latency in latencies.items():
+        row[f"atim_speedup_vs_{label}"] = latency / tune.best_latency
+    row["atim_params"] = tune.best_params
+    return row
+
 
 _FIG9_SIZES = {
     "va": ("4MB", "64MB", "256MB"),
@@ -256,39 +302,23 @@ def fig9_tensor_ops(
     seed: int = 0,
 ) -> List[Dict]:
     """PrIM / PrIM(E) / PrIM+search / SimplePIM / ATiM / CPU comparison."""
+    targets = _baseline_targets()
     rows = []
     for name in workloads or _FIG9_SIZES:
         for size in sizes or _FIG9_SIZES[name]:
             if sizes is not None and size not in _FIG9_SIZES[name]:
                 continue
             wl = make_workload(name, size)
-            prim = prim_profile(wl, size)
-            prim_e = prim_e_profile(wl)
-            prim_s, prim_s_params = prim_search_profile(wl)
-            tune = autotune(wl, n_trials=n_trials, seed=seed, engine=default_engine())
-            cpu = cpu_latency(wl)
-            row = {
-                "workload": name,
-                "size": size,
-                "prim_ms": prim.latency.total * 1e3,
-                "prim_e_ms": prim_e.latency.total * 1e3,
-                "prim_search_ms": prim_s.latency.total * 1e3,
-                "atim_ms": tune.best_latency * 1e3,
-                "cpu_ms": cpu * 1e3,
-                "atim_speedup_vs_prim": prim.latency.total / tune.best_latency,
-                "atim_speedup_vs_prim_search": prim_s.latency.total
-                / tune.best_latency,
-                "atim_speedup_vs_cpu": cpu / tune.best_latency,
-                "atim_params": tune.best_params,
-                "prim_search_params": prim_s_params,
-            }
-            if name in ("va", "geva", "red"):
-                sp = simplepim_profile(wl)
-                row["simplepim_ms"] = sp.latency.total * 1e3
-                row["atim_speedup_vs_simplepim"] = (
-                    sp.latency.total / tune.best_latency
+            rows.append(
+                compare_targets(
+                    wl,
+                    targets,
+                    n_trials=n_trials,
+                    seed=seed,
+                    size=size,
+                    meta={"workload": name, "size": size},
                 )
-            rows.append(row)
+            )
     return rows
 
 
@@ -296,18 +326,19 @@ def table3_parameters(
     workloads: Optional[Sequence[str]] = None, n_trials: int = 48, seed: int = 0
 ) -> List[Dict]:
     """Autotuned parameters (Table 3): PrIM defaults vs searches vs ATiM."""
+    prim_default = PrimTarget()
+    prim_search = PrimTarget(variant="search")
     rows = []
     for name in workloads or ("red", "mtv", "gemv", "ttv", "mmtv", "va", "geva"):
         for size in _FIG9_SIZES[name]:
             wl = make_workload(name, size)
-            _prof, ps_params = prim_search_profile(wl)
             tune = autotune(wl, n_trials=n_trials, seed=seed, engine=default_engine())
             rows.append(
                 {
                     "workload": name,
                     "size": size,
-                    "prim_defaults": prim_params(wl, size=size),
-                    "prim_search": ps_params,
+                    "prim_defaults": prim_default.params_for(wl, size=size),
+                    "prim_search": prim_search.params_for(wl),
                     "atim": tune.best_params,
                 }
             )
@@ -319,6 +350,11 @@ def table3_parameters(
 # ---------------------------------------------------------------------------
 
 
+#: Fig. 10/11 compare against the PrIM variants and the CPU roofline.
+def _gptj_targets() -> Tuple[Target, ...]:
+    return (PrimTarget(), PrimTarget(variant="search"), CpuTarget())
+
+
 def fig10_gptj(
     models=(GPTJ_6B, GPTJ_30B),
     batches: Sequence[int] = (1, 4, 16),
@@ -328,52 +364,38 @@ def fig10_gptj(
     seed: int = 0,
 ) -> List[Dict]:
     """MHA MMTV and FC MTV layers of GPT-J 6B/30B."""
+    targets = _gptj_targets()
     rows = []
     for config in models:
         for batch in batches:
             for tok in tokens:
                 wl = mha_mmtv(config, batch, tok)
                 rows.append(
-                    _gptj_row(
+                    compare_targets(
                         wl,
-                        dict(model=config.name, op="mmtv", batch=batch, tokens=tok),
-                        n_trials,
-                        seed,
+                        targets,
+                        n_trials=n_trials,
+                        seed=seed,
+                        meta=dict(
+                            model=config.name, op="mmtv", batch=batch, tokens=tok
+                        ),
                     )
                 )
         if include_mtv:
             for layer, m, k in fc_shapes(config):
                 wl = fc_mtv(config, layer)
                 rows.append(
-                    _gptj_row(
+                    compare_targets(
                         wl,
-                        dict(model=config.name, op="mtv", layer=layer, m=m, k=k),
-                        n_trials,
-                        seed,
+                        targets,
+                        n_trials=n_trials,
+                        seed=seed,
+                        meta=dict(
+                            model=config.name, op="mtv", layer=layer, m=m, k=k
+                        ),
                     )
                 )
     return rows
-
-
-def _gptj_row(wl: Workload, meta: Dict, n_trials: int, seed: int) -> Dict:
-    prim = prim_profile(wl)
-    prim_s, _ = prim_search_profile(wl)
-    tune = autotune(wl, n_trials=n_trials, seed=seed, engine=default_engine())
-    cpu = cpu_latency(wl)
-    row = dict(meta)
-    row.update(
-        {
-            "prim_ms": prim.latency.total * 1e3,
-            "prim_search_ms": prim_s.latency.total * 1e3,
-            "atim_ms": tune.best_latency * 1e3,
-            "cpu_ms": cpu * 1e3,
-            "atim_speedup_vs_prim": prim.latency.total / tune.best_latency,
-            "atim_speedup_vs_prim_search": prim_s.latency.total / tune.best_latency,
-            "atim_speedup_vs_cpu": cpu / tune.best_latency,
-            "atim_params": tune.best_params,
-        }
-    )
-    return row
 
 
 def fig11_mmtv_scaling(
@@ -386,19 +408,24 @@ def fig11_mmtv_scaling(
     seed: int = 0,
 ) -> List[Dict]:
     """ATiM speedup over PrIM(+search) vs MMTV spatial-dimension size."""
+    targets = (PrimTarget(), PrimTarget(variant="search"))
     rows = []
     for m, n in spatial_sizes:
         wl = mmtv(m, n, k)
-        prim = prim_profile(wl)
-        prim_s, _ = prim_search_profile(wl)
-        tune = autotune(wl, n_trials=n_trials, seed=seed, engine=default_engine())
+        row = compare_targets(
+            wl,
+            targets,
+            n_trials=n_trials,
+            seed=seed,
+            meta={"spatial": m * n, "shape": f"{m}x{n}x{k}"},
+        )
         rows.append(
             {
-                "spatial": m * n,
-                "shape": f"{m}x{n}x{k}",
-                "speedup_vs_prim": prim.latency.total / tune.best_latency,
-                "speedup_vs_prim_search": prim_s.latency.total / tune.best_latency,
-                "uses_rfactor": tune.best_params.get("k_dpus", 1) > 1,
+                "spatial": row["spatial"],
+                "shape": row["shape"],
+                "speedup_vs_prim": row["atim_speedup_vs_prim"],
+                "speedup_vs_prim_search": row["atim_speedup_vs_prim_search"],
+                "uses_rfactor": row["atim_params"].get("k_dpus", 1) > 1,
             }
         )
     return rows

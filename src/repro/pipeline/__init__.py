@@ -1,10 +1,11 @@
 """Unified compile pipeline: passes, contexts, managers and artifacts.
 
-Every compile in the repository — ``repro.build``, ``optimize_module``,
-the autotuner's candidate compiler and the experiment harness — routes
-through a :class:`PassManager` over the same named passes, with a
-:class:`PassContext` carrying configuration and observability hooks and
-an :class:`ArtifactCache` memoizing :class:`CompiledArtifact` results.
+Every compile in the repository — ``repro.compile`` (for any target),
+``optimize_module``, the autotuner's candidate compiler and the
+experiment harness — routes through a :class:`PassManager` over the same
+named passes, with a :class:`PassContext` carrying configuration and
+observability hooks and an :class:`ArtifactCache` memoizing
+:class:`CompiledArtifact` results.
 
 Quick tour::
 

@@ -31,10 +31,10 @@ __all__ = [
 ]
 
 #: Mixed into every artifact key; bump whenever compiler behavior changes
-#: (lowering, a §5.3 pass, the performance-relevant module layout), so a
-#: persistent disk tier never serves artifacts produced by older
-#: compiler code.
-CACHE_SCHEMA_VERSION = 1
+#: (lowering, a §5.3 pass, the performance-relevant module layout) or the
+#: key payload itself changes shape, so a persistent disk tier never
+#: serves artifacts produced by older compiler code.
+CACHE_SCHEMA_VERSION = 2
 
 
 def _tensor_signature(tensor: Any) -> tuple:
@@ -77,9 +77,16 @@ def artifact_key(
     config: Any = None,
     opt_level: str = "O3",
     pipeline: str = "build",
+    target: Any = None,
     extra: Any = None,
 ) -> str:
-    """Content-addressed digest identifying one compile's inputs."""
+    """Content-addressed digest identifying one compile's inputs.
+
+    ``target`` is a :class:`repro.target.Target` (its ``cache_token()``
+    enters the key — ``None`` when the other key fields already fully
+    describe the target's compilation) or any stable raw token.
+    """
+    token = target.cache_token() if hasattr(target, "cache_token") else target
     payload = (
         CACHE_SCHEMA_VERSION,
         workload_signature(workload) if workload is not None else None,
@@ -87,6 +94,7 @@ def artifact_key(
         repr(config),
         opt_level,
         pipeline,
+        token,
         extra,
     )
     return hashlib.sha256(repr(payload).encode()).hexdigest()

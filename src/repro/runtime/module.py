@@ -1,8 +1,12 @@
 """Build API: schedule → optimized module with run()/profile().
 
-This is the user-facing entry point::
+The user-facing entry point is ``repro.compile(sch, target="upmem")``,
+which wraps the :class:`Module` this produces in a target
+:class:`~repro.target.Executable`; ``repro.build`` remains as a
+deprecation shim.  Internal code (targets, tests) calls :func:`build`
+here directly::
 
-    mod = repro.build(sch, name="mtv")
+    mod = build(sch, name="mtv")
     out, = mod.run(A=a, B=b)          # functional execution
     prof = mod.profile()              # simulated latency breakdown
 """
@@ -31,13 +35,18 @@ class Module:
     ) -> None:
         self.lowered = lowered
         self.config = config
-        self._model = PerformanceModel(config)
         self._executor = FunctionalExecutor(lowered)
-        self._profile_cache: Optional[ProfileResult] = None
+        self._profile_cache: Dict[Optional[UpmemConfig], ProfileResult] = {}
 
     @property
     def name(self) -> str:
         return self.lowered.name
+
+    @property
+    def executor(self) -> FunctionalExecutor:
+        """The functional executor (exposes phased grid execution for
+        batch sharding — see :meth:`FunctionalExecutor.run_points`)."""
+        return self._executor
 
     def run(self, inputs: Optional[Dict[str, np.ndarray]] = None, **named):
         """Execute functionally; returns the list of output arrays."""
@@ -46,10 +55,18 @@ class Module:
         return self._executor.run(data)
 
     def profile(self) -> ProfileResult:
-        """Simulated latency breakdown (cached — the model is deterministic)."""
-        if self._profile_cache is None:
-            self._profile_cache = self._model.profile(self.lowered)
-        return self._profile_cache
+        """Simulated latency breakdown.
+
+        Cached per hardware config — the model is deterministic, but
+        callers may reassign ``self.config`` (e.g. to re-profile on a
+        smaller machine), so the cache key is the config in effect at
+        call time, not the one the module was built with.
+        """
+        cached = self._profile_cache.get(self.config)
+        if cached is None:
+            cached = PerformanceModel(self.config).profile(self.lowered)
+            self._profile_cache[self.config] = cached
+        return cached
 
     @property
     def latency(self) -> float:

@@ -1,0 +1,59 @@
+"""Target-centric front end: one ``compile()`` across every backend.
+
+A :class:`Target` bundles a backend's configuration, compile pipeline,
+performance model and (where supported) functional executor;
+:func:`compile` turns a workload or schedule into a uniform
+:class:`Executable`.  See :mod:`repro.target.base` for the registry and
+:mod:`repro.target.targets` for the six built-in kinds.
+"""
+
+from .base import (
+    Target,
+    TargetError,
+    get_target,
+    has_target,
+    list_targets,
+    register_target,
+)
+from .compile import compile
+from .executable import (
+    EstimateExecutable,
+    Executable,
+    RooflineExecutable,
+    RooflineProfile,
+    UpmemExecutable,
+)
+from .executor import Executor, default_workers
+from .targets import (
+    CpuTarget,
+    GpuTarget,
+    HbmPimTarget,
+    PrimTarget,
+    SimplePimTarget,
+    UpmemTarget,
+    default_params,
+)
+
+__all__ = [
+    "compile",
+    "Target",
+    "TargetError",
+    "register_target",
+    "get_target",
+    "has_target",
+    "list_targets",
+    "Executable",
+    "UpmemExecutable",
+    "RooflineExecutable",
+    "RooflineProfile",
+    "EstimateExecutable",
+    "Executor",
+    "default_workers",
+    "UpmemTarget",
+    "PrimTarget",
+    "SimplePimTarget",
+    "CpuTarget",
+    "GpuTarget",
+    "HbmPimTarget",
+    "default_params",
+]

@@ -1,0 +1,61 @@
+"""``repro.compile`` — the single user-facing compile entry point.
+
+::
+
+    import repro
+    from repro.workloads import mtv
+
+    exe = repro.compile(mtv(4096, 4096), target="upmem")
+    out, = exe.run(A=a, B=b)
+    print(exe.latency, repro.list_targets())
+
+One call works for every registered target; the divergent per-backend
+entry points (``repro.build``, ``cpu_latency``, ``prim_profile``,
+``simplepim_profile``) remain as deprecation shims over this.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Union
+
+from .base import Target, get_target
+from .executable import Executable
+
+__all__ = ["compile"]
+
+
+def compile(
+    workload_or_schedule: Any,
+    target: Union[str, Target] = "upmem",
+    opt_level: str = "O3",
+    params: Optional[Dict[str, int]] = None,
+    **hints: Any,
+) -> Executable:
+    """Compile a workload or explicit schedule for a target.
+
+    Parameters
+    ----------
+    workload_or_schedule:
+        A :class:`repro.workloads.Workload` (the target picks or is given
+        schedule parameters) or a hand-built
+        :class:`repro.schedule.Schedule` (targets with a compile pipeline
+        only).
+    target:
+        Registered kind string (see :func:`repro.target.list_targets`) or
+        a configured :class:`Target` instance.
+    opt_level:
+        PIM-aware optimization level ``O0``..``O3`` (§5.3).
+    params:
+        Explicit sketch parameters for workload compilation; default is
+        the target's canonical choice (sketch seed, PrIM table, ...).
+    hints:
+        Target-specific extras, e.g. ``size="64MB"`` (PrIM parameter
+        table row) or ``total_macs=`` (HBM-PIM schedule estimates).
+        Targets ignore hints they do not understand.
+
+    Returns the target's :class:`Executable` with the uniform
+    ``run`` / ``run_batch`` / ``profile`` / ``latency`` surface.
+    """
+    return get_target(target).compile(
+        workload_or_schedule, opt_level=opt_level, params=params, **hints
+    )

@@ -1,0 +1,231 @@
+"""The uniform result of ``repro.compile``: run / run_batch / profile.
+
+Every target returns an :class:`Executable`; callers interact with one
+interface regardless of whether the backend is the simulated UPMEM
+machine (full functional execution), a roofline model (numpy reference
+execution, analytic latency) or the HBM-PIM feasibility estimator
+(latency only).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..upmem.system import Latency, ProfileResult
+from .base import TargetError
+from .executor import Executor
+
+__all__ = [
+    "Executable",
+    "UpmemExecutable",
+    "RooflineExecutable",
+    "EstimateExecutable",
+    "RooflineProfile",
+]
+
+
+class Executable:
+    """A compiled program plus the target it was compiled for.
+
+    Uniform surface:
+
+    * :meth:`run` — functional execution against named numpy inputs;
+    * :meth:`run_batch` — N independent inputs sharded over a thread pool;
+    * :meth:`profile` — the target-native performance breakdown;
+    * :attr:`latency` — total predicted/simulated seconds, comparable
+      across targets.
+    """
+
+    def __init__(
+        self,
+        target: Any,
+        workload: Any = None,
+        params: Optional[Dict[str, int]] = None,
+    ) -> None:
+        self.target = target
+        self.workload = workload
+        #: Schedule parameters the target chose/was given (None when the
+        #: target has no parameter space, e.g. rooflines).
+        self.params = params
+
+    # -- execution ----------------------------------------------------------
+    def run(
+        self, inputs: Optional[Dict[str, np.ndarray]] = None, **named
+    ) -> List[np.ndarray]:
+        raise TargetError(
+            f"target {self.target.kind!r} does not support functional"
+            " execution"
+        )
+
+    def run_batch(
+        self,
+        batch: Sequence[Dict[str, np.ndarray]],
+        max_workers: Optional[int] = None,
+    ) -> List[List[np.ndarray]]:
+        """Execute independent input dicts; results in input order.
+
+        The default shards whole batch items across the thread pool
+        (embarrassingly parallel — right for roofline targets whose
+        ``run`` is one numpy expression).
+        """
+        return Executor(max_workers).map(self.run, batch)
+
+    # -- performance --------------------------------------------------------
+    def profile(self) -> Any:
+        raise TargetError(f"target {self.target.kind!r} does not profile")
+
+    @property
+    def latency(self) -> float:
+        """Total predicted latency in seconds."""
+        raise NotImplementedError
+
+    def _named_inputs(self, inputs, named) -> Dict[str, np.ndarray]:
+        data = dict(inputs or {})
+        data.update(named)
+        return data
+
+
+class UpmemExecutable(Executable):
+    """A module compiled for the simulated UPMEM machine (or one of the
+    PrIM/SimplePIM baseline structures, which share its substrate).
+
+    Wraps a :class:`repro.runtime.Module`; ``profile_override`` lets
+    baseline targets substitute a framework-adjusted profile (SimplePIM's
+    documented overheads) while keeping functional execution.
+    """
+
+    def __init__(
+        self,
+        module: Any,  # repro.runtime.Module
+        target: Any,
+        workload: Any = None,
+        params: Optional[Dict[str, int]] = None,
+        profile_override: Optional[ProfileResult] = None,
+    ) -> None:
+        super().__init__(target, workload, params)
+        self._mod = module
+        self._profile_override = profile_override
+
+    # -- module access (schedule/debugging surface) -------------------------
+    @property
+    def module(self):
+        """The wrapped :class:`repro.runtime.Module`."""
+        return self._mod
+
+    @property
+    def lowered(self):
+        return self._mod.lowered
+
+    def script(self) -> str:
+        return self._mod.script()
+
+    def source(self) -> str:
+        return self._mod.source()
+
+    # -- execution ----------------------------------------------------------
+    def run(self, inputs=None, **named) -> List[np.ndarray]:
+        return self._mod.run(self._named_inputs(inputs, named))
+
+    def run_batch(self, batch, max_workers=None) -> List[List[np.ndarray]]:
+        """Shard the batch per DPU group across the thread pool.
+
+        Each batch item's DPU grid is cut into contiguous chunks and all
+        (item, chunk) jobs share one pool, so even a single-item batch
+        parallelizes across its DPUs.  DPUs write disjoint tile regions,
+        making the result bit-for-bit identical to sequential ``run``
+        calls regardless of interleaving.
+        """
+        fexec = self._mod.executor
+        executor = Executor(max_workers)
+        states = [
+            fexec.prepare(self._named_inputs(inputs, {})) for inputs in batch
+        ]
+        chunks = Executor.chunk(fexec.grid_points(), executor.max_workers)
+        jobs = [(state, chunk) for state in states for chunk in chunks]
+        executor.map(lambda job: fexec.run_points(job[0], job[1]), jobs)
+        return [fexec.finalize(state) for state in states]
+
+    # -- performance --------------------------------------------------------
+    def profile(self) -> ProfileResult:
+        if self._profile_override is not None:
+            return self._profile_override
+        return self._mod.profile()
+
+    @property
+    def latency(self) -> float:
+        return self.profile().latency.total
+
+
+@dataclass
+class RooflineProfile:
+    """Analytic profile of a roofline target (single-bucket breakdown)."""
+
+    #: The whole roofline time is attributed to the kernel bucket; the
+    #: fixed dispatch overhead is split out as ``launch``.
+    latency: Latency
+    effective_bandwidth: float = 0.0
+    peak_flops: float = 0.0
+
+
+class RooflineExecutable(Executable):
+    """CPU/GPU roofline baseline: analytic latency, numpy execution.
+
+    ``run`` evaluates the workload's reference implementation, so the
+    roofline targets are functional peers of the UPMEM path (useful for
+    cross-checking outputs target-to-target).
+    """
+
+    def __init__(self, target: Any, workload: Any, model: Any) -> None:
+        super().__init__(target, workload, params=None)
+        self.model = model
+
+    def run(self, inputs=None, **named) -> List[np.ndarray]:
+        data = self._named_inputs(inputs, named)
+        args = []
+        for tensor in self.workload.inputs:
+            try:
+                args.append(data[tensor.name])
+            except KeyError:
+                raise KeyError(
+                    f"missing input {tensor.name!r}; expected"
+                    f" {[t.name for t in self.workload.inputs]}"
+                ) from None
+        return [self.workload.reference(*args)]
+
+    def profile(self) -> RooflineProfile:
+        total = self.model.latency(self.workload)
+        overhead = self.model.overhead_s
+        return RooflineProfile(
+            latency=Latency(kernel=total - overhead, launch=overhead),
+            effective_bandwidth=self.model.effective_bandwidth,
+            peak_flops=self.model.peak_flops,
+        )
+
+    @property
+    def latency(self) -> float:
+        return self.model.latency(self.workload)
+
+
+class EstimateExecutable(Executable):
+    """HBM-PIM feasibility estimate (§8): latency only, no execution —
+    the paper models PU command streams, not a functional ISA."""
+
+    def __init__(
+        self,
+        estimate: Any,  # extensions.hbm_pim.HbmPimEstimate
+        target: Any,
+        workload: Any = None,
+        params: Optional[Dict[str, int]] = None,
+    ) -> None:
+        super().__init__(target, workload, params)
+        self.estimate = estimate
+
+    def profile(self):
+        return self.estimate
+
+    @property
+    def latency(self) -> float:
+        return self.estimate.latency_s

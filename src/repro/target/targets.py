@@ -1,0 +1,453 @@
+"""The six built-in targets (paper §6: evaluated systems).
+
+All module-compiling targets share the UPMEM scheduling substrate — PrIM
+and SimplePIM baselines are *structural* reproductions as schedules, and
+the HBM-PIM estimate reinterprets the lowered grid/tile structure — so
+they compile through the same named pipelines and differ in parameter
+choice and performance model.  The CPU/GPU targets are rooflines with
+numpy functional execution.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from ..lowering import LowerOptions
+from ..schedule import Schedule
+from ..upmem.config import DEFAULT_CONFIG, UpmemConfig
+from ..upmem.system import PerformanceModel
+from ..workloads import Workload
+from .base import Target, TargetError, has_target, register_target
+from .executable import (
+    EstimateExecutable,
+    Executable,
+    RooflineExecutable,
+    UpmemExecutable,
+)
+
+__all__ = [
+    "UpmemTarget",
+    "PrimTarget",
+    "SimplePimTarget",
+    "CpuTarget",
+    "GpuTarget",
+    "HbmPimTarget",
+    "default_params",
+]
+
+
+def default_params(
+    workload: Workload, config: Optional[UpmemConfig] = None
+) -> Dict[str, int]:
+    """A sensible un-tuned parameter setting for a workload: the primary
+    sketch seed (max-parallelism plain candidate) the tuner would measure
+    first."""
+    from ..autotune.sketch import param_space
+    from ..autotune.tuner import seed_params
+
+    cfg = config or DEFAULT_CONFIG
+    space = param_space(workload, max_dpus=cfg.n_dpus)
+    return seed_params(space, cfg.n_dpus)[0]
+
+
+def _wrap_module(target, lowered, workload, params, profile_override=None):
+    from ..runtime import Module
+
+    module = Module(lowered, target.config)
+    return UpmemExecutable(
+        module,
+        target,
+        workload=workload,
+        params=params,
+        profile_override=profile_override,
+    )
+
+
+class UpmemTarget(Target):
+    """The simulated UPMEM machine — ATiM's primary backend.
+
+    Compiles schedules and workloads through the ``build`` pipeline;
+    workloads without explicit ``params`` get the sketch defaults (run
+    the autotuner for tuned parameters).
+    """
+
+    kind = "upmem"
+    pipeline = "build"
+
+    def __init__(
+        self,
+        config: Optional[UpmemConfig] = None,
+        engine: Optional[Any] = None,
+    ) -> None:
+        self.config = config or DEFAULT_CONFIG
+        self._engine = engine
+
+    @property
+    def engine(self):
+        """Compile engine (process-wide default unless one was injected)."""
+        if self._engine is None:
+            from ..autotune.compile import default_engine
+
+            self._engine = default_engine()
+        return self._engine
+
+    @property
+    def search_config(self) -> UpmemConfig:
+        return self.config
+
+    def supports(self, workload: Workload) -> bool:
+        from ..autotune.sketch import param_space
+
+        try:
+            param_space(workload, max_dpus=self.config.n_dpus)
+        except (KeyError, ValueError):
+            return False
+        return True
+
+    def compile(
+        self,
+        workload_or_schedule: Any,
+        opt_level: str = "O3",
+        params: Optional[Dict[str, int]] = None,
+        name: Optional[str] = None,
+        ctx: Optional[Any] = None,
+        **hints: Any,
+    ) -> Executable:
+        if isinstance(workload_or_schedule, Schedule):
+            from ..runtime import Module, build as _build_schedule
+
+            module = _build_schedule(
+                workload_or_schedule,
+                name=name,
+                options=LowerOptions(optimize=opt_level),
+                config=self.config,
+                ctx=ctx,
+            )
+            return UpmemExecutable(module, self, params=params)
+        workload = workload_or_schedule
+        params = params or default_params(workload, self.config)
+        artifact = self.engine.compile(
+            workload, params, optimize=opt_level, config=self.config,
+            target=self,
+        )
+        if not artifact.ok:
+            raise TargetError(
+                f"invalid params {params} for {workload.name}:"
+                f" {artifact.error}"
+            )
+        if artifact.verified is False:
+            raise TargetError(
+                f"params {params} violate hardware constraints for"
+                f" {workload.name}: {artifact.verify_reason}"
+            )
+        return _wrap_module(self, artifact.module, workload, params)
+
+    def measure(self, module: Any, workload: Any = None) -> float:
+        return PerformanceModel(self.config).profile(module).latency.total
+
+
+class PrimTarget(Target):
+    """PrIM hand-written baselines, reproduced structurally (§6).
+
+    ``variant`` selects the paper's three configurations: ``"default"``
+    (documented PrIM parameters), ``"e"`` (DPU count grid-searched) and
+    ``"search"`` (DPUs x tasklets x caching tile grid-searched, still
+    1-D tiling).
+    """
+
+    kind = "prim"
+    pipeline = "build"
+    VARIANTS = ("default", "e", "search")
+
+    def __init__(
+        self,
+        variant: str = "default",
+        config: Optional[UpmemConfig] = None,
+    ) -> None:
+        if variant not in self.VARIANTS:
+            raise ValueError(
+                f"variant must be one of {self.VARIANTS}, got {variant!r}"
+            )
+        self.variant = variant
+        self.config = config or DEFAULT_CONFIG
+
+    @property
+    def label(self) -> str:
+        return "prim" if self.variant == "default" else f"prim_{self.variant}"
+
+    def supports(self, workload: Workload) -> bool:
+        from ..baselines.prim import prim_params
+
+        try:
+            prim_params(workload)
+        except KeyError:
+            return False
+        return True
+
+    @property
+    def search_config(self) -> UpmemConfig:
+        return self.config
+
+    def params_for(
+        self, workload: Workload, size: Optional[str] = None
+    ) -> Dict[str, int]:
+        """The variant's parameter choice, without compiling where
+        possible: the default variant is a table lookup; the searched
+        variants inherently profile candidates to pick a winner."""
+        from ..baselines import prim
+
+        if self.variant == "default":
+            return prim.prim_params(workload, size=size)
+        return self.compile(workload, size=size).params
+
+    def compile(
+        self,
+        workload_or_schedule: Any,
+        opt_level: str = "O3",
+        params: Optional[Dict[str, int]] = None,
+        size: Optional[str] = None,
+        **hints: Any,
+    ) -> Executable:
+        from ..autotune.compile import compile_params
+        from ..baselines import prim
+
+        if isinstance(workload_or_schedule, Schedule):
+            raise TargetError(
+                "the prim target reproduces fixed kernel structures; compile"
+                " a Workload (explicit schedules belong on target='upmem')"
+            )
+        workload = workload_or_schedule
+        profile_override = None
+        if self.variant == "default":
+            params = params or prim.prim_params(workload, size=size)
+        else:
+            if self.variant == "e":
+                tasklets, caches = prim.PRIM_E_TASKLET_RANGE, prim.PRIM_E_CACHE_RANGE
+            else:
+                tasklets = prim.PRIM_SEARCH_TASKLET_RANGE
+                caches = prim.PRIM_SEARCH_CACHE_RANGE
+            profile_override, params = prim._grid_search(
+                workload,
+                prim._dpu_search_range(workload),
+                tasklets,
+                caches,
+                self.config,
+            )
+        module = compile_params(workload, params, "O3", self.config)
+        if module is None:
+            raise TargetError(
+                f"PrIM baseline parameters invalid for {workload.name}:"
+                f" {params}"
+            )
+        return _wrap_module(self, module, workload, params, profile_override)
+
+    def measure(self, module: Any, workload: Any = None) -> float:
+        return PerformanceModel(self.config).profile(module).latency.total
+
+
+class SimplePimTarget(Target):
+    """SimplePIM framework baseline (Chen et al., PACT 2023): VA / GEVA /
+    RED with the framework's documented handler overheads."""
+
+    kind = "simplepim"
+    pipeline = "build"
+
+    def __init__(self, config: Optional[UpmemConfig] = None) -> None:
+        self.config = config or DEFAULT_CONFIG
+
+    def supports(self, workload: Workload) -> bool:
+        from ..baselines.simplepim import SIMPLEPIM_WORKLOADS
+
+        return getattr(workload, "name", None) in SIMPLEPIM_WORKLOADS
+
+    @property
+    def search_config(self) -> UpmemConfig:
+        return self.config
+
+    def compile(
+        self,
+        workload_or_schedule: Any,
+        opt_level: str = "O3",
+        params: Optional[Dict[str, int]] = None,
+        **hints: Any,
+    ) -> Executable:
+        from ..baselines.simplepim import simplepim_build
+
+        if isinstance(workload_or_schedule, Schedule):
+            raise TargetError(
+                "the simplepim target reproduces the framework's fixed"
+                " handler structure; compile a Workload"
+            )
+        workload = workload_or_schedule
+        if not self.supports(workload):
+            raise TargetError(
+                f"SimplePIM supports va/geva/red, not {workload.name!r}"
+            )
+        module, profile = simplepim_build(workload, self.config)
+        return _wrap_module(self, module, workload, None, profile)
+
+
+class _RooflineTarget(Target):
+    """Shared behaviour of the CPU/GPU roofline baselines."""
+
+    def __init__(self, model: Any) -> None:
+        self.model = model
+
+    @property
+    def config(self):
+        return self.model
+
+    def supports(self, workload: Workload) -> bool:
+        return getattr(workload, "reference", None) is not None
+
+    def compile(
+        self,
+        workload_or_schedule: Any,
+        opt_level: str = "O3",
+        params: Optional[Dict[str, int]] = None,
+        **hints: Any,
+    ) -> Executable:
+        if isinstance(workload_or_schedule, Schedule):
+            raise TargetError(
+                f"the {self.kind} roofline models workloads analytically;"
+                " explicit schedules belong on target='upmem'"
+            )
+        return RooflineExecutable(self, workload_or_schedule, self.model)
+
+    def measure(self, module: Any, workload: Any = None) -> float:
+        if workload is None:
+            raise TargetError(
+                f"the {self.kind} roofline measures workloads, not modules"
+            )
+        return self.model.latency(workload)
+
+
+class CpuTarget(_RooflineTarget):
+    """TVM-autotuned CPU baseline as a calibrated roofline (§6)."""
+
+    kind = "cpu"
+
+    def __init__(self, model: Optional[Any] = None) -> None:
+        from ..baselines.cpu import CpuModel
+
+        super().__init__(model or CpuModel())
+
+
+class GpuTarget(_RooflineTarget):
+    """A5000-class GPU roofline (used for the Fig. 4 comparison)."""
+
+    kind = "gpu"
+
+    def __init__(self, model: Optional[Any] = None) -> None:
+        from ..baselines.cpu import GpuModel
+
+        super().__init__(model or GpuModel())
+
+
+class HbmPimTarget(Target):
+    """Samsung HBM-PIM (Aquabolt-XL) feasibility estimate — paper §8.
+
+    First-class target wrapping :mod:`repro.extensions.hbm_pim`: MAC
+    reductions compile through the registered ``hbm-pim`` pipeline and
+    yield a PU-command-stream latency estimate.  Not functionally
+    executable (the paper models command streams, not an ISA).
+    """
+
+    kind = "hbm-pim"
+    pipeline = "hbm-pim"
+
+    def __init__(
+        self,
+        config: Optional[Any] = None,  # HbmPimConfig
+        upmem_config: Optional[UpmemConfig] = None,
+    ) -> None:
+        from ..extensions.hbm_pim import HbmPimConfig
+
+        self.config = config or HbmPimConfig()
+        #: UPMEM machine description bounding the sketch substrate the
+        #: two-level PU binding is derived from.
+        self.upmem_config = upmem_config or DEFAULT_CONFIG
+
+    @property
+    def search_config(self) -> UpmemConfig:
+        return self.upmem_config
+
+    def supports(self, workload: Workload) -> bool:
+        from ..extensions.hbm_pim import HbmPimEstimator
+
+        op = getattr(getattr(workload, "output", None), "op", None)
+        combiner = getattr(op, "combiner", None)
+        return HbmPimEstimator(self.config).supports(combiner)
+
+    def total_macs(self, workload: Workload) -> float:
+        """MAC count of a reduction workload (multiply+accumulate pairs)."""
+        return workload.flops / 2.0
+
+    def compile(
+        self,
+        workload_or_schedule: Any,
+        opt_level: str = "O3",
+        params: Optional[Dict[str, int]] = None,
+        total_macs: Optional[float] = None,
+        **hints: Any,
+    ) -> Executable:
+        from ..extensions.hbm_pim import estimate_schedule
+        from ..pipeline import PassContext
+
+        workload = None
+        if isinstance(workload_or_schedule, Schedule):
+            schedule = workload_or_schedule
+            if total_macs is None:
+                raise TargetError(
+                    "compiling a raw schedule for hbm-pim requires"
+                    " total_macs= (workloads derive it from their flop"
+                    " count)"
+                )
+        else:
+            workload = workload_or_schedule
+            if not self.supports(workload):
+                raise TargetError(
+                    f"hbm-pim accelerates MAC reductions only;"
+                    f" {workload.name!r} is not one"
+                )
+            from ..autotune.sketch import generate_schedule
+
+            params = params or default_params(workload, self.upmem_config)
+            try:
+                schedule = generate_schedule(workload, params)
+            except Exception as exc:
+                raise TargetError(
+                    f"cannot sketch {workload.name} for hbm-pim: {exc}"
+                ) from exc
+            if total_macs is None:
+                total_macs = self.total_macs(workload)
+        ctx = PassContext(config=self.upmem_config, opt_level=opt_level)
+        estimate = estimate_schedule(schedule, total_macs, self.config, ctx)
+        return EstimateExecutable(estimate, self, workload, params)
+
+    def measure(self, module: Any, workload: Any = None) -> float:
+        """Estimate an already-lowered module (cross-target tuning)."""
+        from ..extensions.hbm_pim import HbmPimEstimator
+
+        if workload is None:
+            raise TargetError("hbm-pim measurement needs the workload")
+        estimate = HbmPimEstimator(self.config).estimate(
+            module, self.total_macs(workload)
+        )
+        return estimate.latency_s if estimate.supported else float("inf")
+
+
+# ---------------------------------------------------------------------------
+# registration
+# ---------------------------------------------------------------------------
+
+for _kind, _factory in (
+    ("upmem", UpmemTarget),
+    ("prim", PrimTarget),
+    ("simplepim", SimplePimTarget),
+    ("cpu", CpuTarget),
+    ("gpu", GpuTarget),
+    ("hbm-pim", HbmPimTarget),
+):
+    if not has_target(_kind):
+        register_target(_kind, _factory)

@@ -22,13 +22,22 @@ __all__ = ["FunctionalExecutor"]
 
 
 class FunctionalExecutor:
-    """Executes a :class:`LoweredModule` for correctness checking."""
+    """Executes a :class:`LoweredModule` for correctness checking.
+
+    The offload sequence is exposed in three phases — :meth:`prepare`
+    (bind inputs, allocate outputs, run host-side preamble),
+    :meth:`run_points` (simulate a subset of the DPU grid) and
+    :meth:`finalize` (host post-processing) — so callers can shard grid
+    points across threads: every DPU reads shared input arrays and
+    writes its own disjoint tile regions, making per-DPU-group execution
+    order-independent.  :meth:`run` composes the three sequentially.
+    """
 
     def __init__(self, module: LoweredModule) -> None:
         self.module = module
 
-    def run(self, inputs: Dict[str, np.ndarray]) -> List[np.ndarray]:
-        """Execute with named input arrays; returns the output arrays."""
+    def prepare(self, inputs: Dict[str, np.ndarray]) -> Dict[Buffer, np.ndarray]:
+        """Bind named inputs, allocate outputs, run the host preamble."""
         module = self.module
         arrays: Dict[Buffer, np.ndarray] = {}
         for buf in module.inputs:
@@ -52,16 +61,37 @@ class FunctionalExecutor:
         host = Interpreter(arrays)
         for stmt in module.host_pre:
             host.run(stmt, {})
+        return arrays
 
-        grid_vars = module.grid_vars()
-        extents = [dim.extent for dim in module.grid]
-        for point in itertools.product(*[range(e) for e in extents]):
+    def grid_points(self) -> List[tuple]:
+        """All DPU grid coordinates in canonical (row-major) order."""
+        extents = [dim.extent for dim in self.module.grid]
+        return list(itertools.product(*[range(e) for e in extents]))
+
+    def run_points(
+        self,
+        arrays: Dict[Buffer, np.ndarray],
+        points: Sequence[tuple],
+    ) -> None:
+        """Simulate the given DPU grid points against shared arrays."""
+        grid_vars = self.module.grid_vars()
+        for point in points:
             env: Dict[Var, int] = dict(zip(grid_vars, point))
             self._run_dpu(arrays, env)
 
+    def finalize(self, arrays: Dict[Buffer, np.ndarray]) -> List[np.ndarray]:
+        """Run host post-processing; returns the output arrays."""
+        module = self.module
+        host = Interpreter(arrays)
         for stmt in module.host_post:
             host.run(stmt, {})
         return [arrays[buf] for buf in module.outputs]
+
+    def run(self, inputs: Dict[str, np.ndarray]) -> List[np.ndarray]:
+        """Execute with named input arrays; returns the output arrays."""
+        arrays = self.prepare(inputs)
+        self.run_points(arrays, self.grid_points())
+        return self.finalize(arrays)
 
     # -- one DPU ------------------------------------------------------------
     def _run_dpu(self, global_arrays: Dict[Buffer, np.ndarray], env: Dict[Var, int]):

@@ -20,7 +20,7 @@ SIZED_WORKLOADS: Dict[str, Dict[str, Tuple[int, ...]]] = {
     "red": {
         "4MB": (524288,),
         "64MB": (8388608,),
-        "256MB": (34554432,),
+        "256MB": (33554432,),
         "512MB": (67108864,),
     },
     "mtv": {

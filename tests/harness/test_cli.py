@@ -1,5 +1,7 @@
 """The `python -m repro.harness` CLI."""
 
+import json
+
 import pytest
 
 from repro.harness.__main__ import EXPERIMENTS, main
@@ -34,3 +36,39 @@ def test_fig9_with_filters(capsys):
 def test_unknown_experiment_rejected():
     with pytest.raises(SystemExit):
         main(["fig99"])
+
+
+class TestJsonDump:
+    def test_rows_and_cache_stats_written(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_fig3a.json"
+        assert main(["fig3a", "--json", str(path)]) == 0
+        assert f"wrote JSON results to {path}" in capsys.readouterr().out
+        payload = json.loads(path.read_text())
+        rows = payload["experiments"]["fig3a"]
+        assert rows and all("kernel_ms" in row for row in rows)
+        stats = payload["cache_stats"]
+        assert set(stats) == {"hits", "misses", "disk_hits", "hit_rate"}
+        assert payload["settings"]["seed"] == 0
+
+    def test_fig9_json_roundtrips_machine_readable(self, tmp_path):
+        path = tmp_path / "BENCH_fig9.json"
+        assert main([
+            "fig9", "--workloads", "red", "--sizes", "4MB", "--trials", "8",
+            "--json", str(path),
+        ]) == 0
+        payload = json.loads(path.read_text())
+        row = payload["experiments"]["fig9"][0]
+        assert row["workload"] == "red"
+        assert isinstance(row["atim_ms"], float)
+        assert isinstance(row["atim_params"], dict)
+
+    def test_fig14_curves_serializable(self, tmp_path):
+        path = tmp_path / "BENCH_fig14.json"
+        assert main(["fig14", "--trials", "8", "--json", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        curves = payload["experiments"]["fig14"]
+        assert set(curves) == {
+            "default_tvm", "balanced_sampling", "adaptive_epsilon", "atim"
+        }
+        for curve in curves.values():
+            assert all(len(point) == 2 for point in curve)

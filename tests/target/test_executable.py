@@ -1,0 +1,166 @@
+"""Executable surface: run / run_batch / profile across targets."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.target import Executor, TargetError, UpmemTarget
+from repro.workloads import make_workload, mtv, red, va
+
+
+def _assert_batches_identical(seq, par):
+    assert len(seq) == len(par)
+    for s_outs, p_outs in zip(seq, par):
+        assert len(s_outs) == len(p_outs)
+        for s, p in zip(s_outs, p_outs):
+            assert s.dtype == p.dtype and s.shape == p.shape
+            assert s.tobytes() == p.tobytes()
+
+
+class TestExecutorChunking:
+    def test_chunks_are_contiguous_partition(self):
+        items = list(range(10))
+        chunks = Executor.chunk(items, 3)
+        assert [x for c in chunks for x in c] == items
+        assert len(chunks) == 3
+
+    def test_more_chunks_than_items(self):
+        assert Executor.chunk([1, 2], 8) == [[1], [2]]
+
+    def test_empty(self):
+        assert Executor.chunk([], 4) == []
+
+    def test_map_order_preserved(self):
+        result = Executor(max_workers=4).map(lambda x: x * x, range(20))
+        assert result == [x * x for x in range(20)]
+
+
+class TestUpmemRunBatch:
+    """run_batch must match N sequential run() calls bit-for-bit while
+    sharding across the thread pool (acceptance criterion)."""
+
+    @pytest.mark.parametrize(
+        "wl,params",
+        [
+            (
+                mtv(96, 80),
+                {"m_dpus": 8, "k_dpus": 1, "n_tasklets": 4, "cache": 16,
+                 "host_threads": 1},
+            ),
+            (
+                # rfactor: grid has a reduction dimension + host combine.
+                mtv(64, 128),
+                {"m_dpus": 4, "k_dpus": 4, "n_tasklets": 2, "cache": 16,
+                 "host_threads": 2},
+            ),
+            (va(1000), {"n_dpus": 8, "n_tasklets": 4, "cache": 32}),
+            (
+                # Misaligned shape: boundary tiles exercise partial copies.
+                mtv(70, 55),
+                {"m_dpus": 8, "k_dpus": 1, "n_tasklets": 4, "cache": 16,
+                 "host_threads": 1},
+            ),
+        ],
+        ids=["mtv", "mtv-rfactor", "va", "mtv-misaligned"],
+    )
+    def test_bit_for_bit(self, wl, params):
+        exe = repro.compile(wl, target="upmem", params=params)
+        batch = [wl.random_inputs(seed=i) for i in range(4)]
+        seq = [exe.run(inputs) for inputs in batch]
+        par = exe.run_batch(batch, max_workers=4)
+        _assert_batches_identical(seq, par)
+
+    def test_single_item_batch(self):
+        wl = mtv(64, 64)
+        exe = repro.compile(wl, target="upmem")
+        ins = wl.random_inputs(0)
+        (seq,) = exe.run(ins)
+        ((par,),) = exe.run_batch([ins], max_workers=4)
+        assert seq.tobytes() == par.tobytes()
+
+    def test_sequential_worker_path(self):
+        wl = va(512)
+        exe = repro.compile(
+            wl, target="upmem",
+            params={"n_dpus": 4, "n_tasklets": 2, "cache": 16},
+        )
+        batch = [wl.random_inputs(seed=i) for i in range(3)]
+        _assert_batches_identical(
+            exe.run_batch(batch, max_workers=1),
+            exe.run_batch(batch, max_workers=4),
+        )
+
+    def test_outputs_match_reference(self):
+        wl = mtv(48, 32)
+        exe = repro.compile(wl, target="upmem")
+        batch = [wl.random_inputs(seed=i) for i in range(3)]
+        for outs, inputs in zip(exe.run_batch(batch), batch):
+            np.testing.assert_allclose(
+                outs[0], wl.reference_output(inputs), rtol=1e-3
+            )
+
+
+class TestRooflineRunBatch:
+    def test_cpu_batch_matches_reference(self):
+        wl = mtv(64, 48)
+        exe = repro.compile(wl, target="cpu")
+        batch = [wl.random_inputs(seed=i) for i in range(6)]
+        results = exe.run_batch(batch, max_workers=3)
+        for outs, inputs in zip(results, batch):
+            np.testing.assert_allclose(
+                outs[0], wl.reference_output(inputs), rtol=1e-5
+            )
+
+
+class TestExecutableSurface:
+    def test_upmem_module_accessors(self):
+        exe = repro.compile(mtv(64, 64), target="upmem")
+        assert exe.lowered.n_dpus >= 1
+        assert "for" in exe.script()
+        assert "void" in exe.source()
+
+    def test_missing_input_named(self):
+        wl = mtv(32, 32)
+        exe = repro.compile(wl, target="upmem")
+        with pytest.raises(KeyError, match="A"):
+            exe.run(B=np.zeros(32, np.float32))
+        cpu = repro.compile(wl, target="cpu")
+        with pytest.raises(KeyError, match="A"):
+            cpu.run(B=np.zeros(32, np.float32))
+
+    def test_simplepim_profile_override_consistent(self):
+        """SimplePIM keeps functional execution while profiling with the
+        framework's documented overheads."""
+        wl = red(8192)
+        exe = repro.compile(wl, target="simplepim")
+        upmem_like = exe.module.profile()
+        assert exe.profile().latency.total > upmem_like.latency.total
+        ins = wl.random_inputs(0)
+        (out,) = exe.run(ins)
+        np.testing.assert_allclose(
+            out, wl.reference_output(ins), rtol=1e-3
+        )
+
+    def test_estimate_executable_rejects_run_batch(self):
+        exe = repro.compile(mtv(64, 64), target="hbm-pim")
+        with pytest.raises(TargetError):
+            exe.run_batch([{}, {}])
+
+
+class TestModuleProfileCache:
+    """Module.profile() must key its cache on the config in effect."""
+
+    def test_config_change_reprofiles(self):
+        from repro.upmem import DEFAULT_CONFIG, UpmemConfig
+
+        exe = repro.compile(mtv(256, 256), target="upmem")
+        mod = exe.module
+        fast = mod.profile()
+        slow_config = UpmemConfig().with_(dpu_frequency_hz=100e6)
+        mod.config = slow_config
+        slow = mod.profile()
+        assert slow.latency.kernel > fast.latency.kernel
+        # Flipping back serves the original cached result, same values.
+        mod.config = DEFAULT_CONFIG
+        again = mod.profile()
+        assert again.latency.total == fast.latency.total

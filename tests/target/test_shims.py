@@ -1,0 +1,122 @@
+"""Deprecation shims: legacy entry points == new compile path, plus a
+DeprecationWarning (satellite of the target-centric front-end PR)."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+import repro
+from repro.baselines import (
+    cpu_latency,
+    gpu_latency,
+    prim_profile,
+    simplepim_profile,
+)
+from repro.workloads import make_workload, mtv, red, va
+
+
+def _deprecated_call(fn, *args, **kwargs):
+    """Call fn asserting it emits exactly one DeprecationWarning."""
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        result = fn(*args, **kwargs)
+    deprecations = [
+        w for w in caught if issubclass(w.category, DeprecationWarning)
+    ]
+    assert len(deprecations) == 1, (
+        f"{fn.__name__} emitted {len(deprecations)} DeprecationWarnings"
+    )
+    assert "deprecated" in str(deprecations[0].message)
+    return result
+
+
+class TestBuildShim:
+    def test_warns_and_matches_compile(self):
+        from tests.conftest import make_mtv_schedule
+
+        mod = _deprecated_call(repro.build, make_mtv_schedule(64, 32))
+        exe = repro.compile(make_mtv_schedule(64, 32), target="upmem")
+        ins = {
+            "A": np.random.default_rng(0).random((64, 32), np.float32),
+            "B": np.random.default_rng(1).random(32, np.float32),
+        }
+        (legacy,) = mod.run(ins)
+        (new,) = exe.run(ins)
+        assert legacy.tobytes() == new.tobytes()
+        assert mod.profile().latency.total == exe.profile().latency.total
+
+    def test_internal_build_does_not_warn(self):
+        """The runtime-layer build stays warning-free for internal use."""
+        from repro.runtime import build as internal_build
+        from tests.conftest import make_mtv_schedule
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            internal_build(make_mtv_schedule(16, 16))
+        assert not [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+
+
+class TestCpuGpuShims:
+    def test_cpu_latency(self):
+        wl = make_workload("mtv", "4MB")
+        legacy = _deprecated_call(cpu_latency, wl)
+        assert legacy == repro.compile(wl, target="cpu").latency
+
+    def test_gpu_latency(self):
+        wl = make_workload("va", "4MB")
+        legacy = _deprecated_call(gpu_latency, wl)
+        assert legacy == repro.compile(wl, target="gpu").latency
+
+    def test_custom_model_forwarded(self):
+        from repro.baselines import CpuModel
+        from repro.target import CpuTarget
+
+        wl = mtv(512, 512)
+        model = CpuModel(effective_bandwidth=1.0e9)
+        legacy = _deprecated_call(cpu_latency, wl, model)
+        assert legacy == CpuTarget(model=model).compile(wl).latency
+
+
+class TestPrimShim:
+    def test_profile_identical(self):
+        wl = make_workload("mtv", "4MB")
+        legacy = _deprecated_call(prim_profile, wl, "4MB")
+        new = repro.compile(wl, target="prim", size="4MB").profile()
+        assert legacy.latency.total == new.latency.total
+        assert legacy.latency.kernel == new.latency.kernel
+        assert legacy.n_dpus == new.n_dpus
+
+    def test_unknown_workload_still_keyerror(self):
+        from repro.workloads.tensor_ops import Workload
+
+        bogus = mtv(16, 16)
+        bogus.name = "conv3d"
+        with pytest.raises(KeyError):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                prim_profile(bogus)
+
+
+class TestSimplePimShim:
+    def test_profile_identical(self):
+        wl = red(65536)
+        legacy = _deprecated_call(simplepim_profile, wl)
+        new = repro.compile(wl, target="simplepim").profile()
+        assert legacy.latency.total == new.latency.total
+        assert legacy.latency.d2h == new.latency.d2h
+        assert legacy.latency.host == new.latency.host
+
+    def test_va_framework_copy_identical(self):
+        wl = va(100000)
+        legacy = _deprecated_call(simplepim_profile, wl)
+        new = repro.compile(wl, target="simplepim").profile()
+        assert legacy.latency.total == new.latency.total
+
+    def test_unsupported_still_keyerror(self):
+        with pytest.raises(KeyError):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                simplepim_profile(mtv(32, 32))

@@ -1,0 +1,322 @@
+"""The Target registry and the ``repro.compile`` front door."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.autotune import autotune
+from repro.pipeline import artifact_key
+from repro.schedule import Schedule
+from repro.target import (
+    CpuTarget,
+    EstimateExecutable,
+    GpuTarget,
+    HbmPimTarget,
+    PrimTarget,
+    SimplePimTarget,
+    Target,
+    TargetError,
+    UpmemTarget,
+    default_params,
+    get_target,
+    list_targets,
+    register_target,
+)
+from repro.upmem import DEFAULT_CONFIG, UpmemConfig
+from repro.workloads import make_workload, mtv, red, va
+
+SMALL = UpmemConfig().with_(n_ranks=2)
+
+
+class TestRegistry:
+    def test_all_six_kinds_registered(self):
+        assert set(list_targets()) >= {
+            "upmem", "hbm-pim", "cpu", "gpu", "prim", "simplepim"
+        }
+
+    def test_get_target_by_kind(self):
+        assert isinstance(get_target("upmem"), UpmemTarget)
+        assert isinstance(get_target("hbm-pim"), HbmPimTarget)
+
+    def test_get_target_passthrough(self):
+        target = UpmemTarget(config=SMALL)
+        assert get_target(target) is target
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(TargetError):
+            get_target("fpga")
+
+    def test_no_silent_clobbering(self):
+        with pytest.raises(TargetError):
+            register_target("upmem", UpmemTarget)
+
+    def test_custom_registration(self):
+        class Dummy(Target):
+            kind = "dummy-test"
+
+            def compile(self, obj, opt_level="O3", params=None, **hints):
+                raise TargetError("dummy")
+
+        register_target("dummy-test", Dummy, overwrite=True)
+        assert "dummy-test" in list_targets()
+        assert isinstance(get_target("dummy-test"), Dummy)
+
+
+class TestCompileAllTargets:
+    """`repro.compile(w, target=t)` works for all six registered kinds."""
+
+    @pytest.mark.parametrize(
+        "kind", ["upmem", "hbm-pim", "cpu", "gpu", "prim"]
+    )
+    def test_mtv_compiles(self, kind):
+        exe = repro.compile(mtv(128, 128), target=kind)
+        assert exe.latency > 0
+        assert exe.profile() is not None
+        assert exe.target.kind == kind
+
+    def test_simplepim_compiles(self):
+        exe = repro.compile(red(4096), target="simplepim")
+        assert exe.latency > 0
+        assert exe.target.kind == "simplepim"
+
+    def test_latencies_are_comparable_floats(self):
+        wl = make_workload("mtv", "4MB")
+        latencies = {
+            kind: repro.compile(wl, target=kind).latency
+            for kind in ("upmem", "cpu", "gpu", "prim", "hbm-pim")
+        }
+        assert all(
+            isinstance(v, float) and v > 0 for v in latencies.values()
+        )
+
+    def test_explicit_params_respected(self):
+        wl = mtv(256, 256)
+        params = {
+            "m_dpus": 16, "k_dpus": 1, "n_tasklets": 8, "cache": 32,
+            "host_threads": 1,
+        }
+        exe = repro.compile(wl, target="upmem", params=params)
+        assert exe.params == params
+        assert exe.lowered.n_dpus == 16
+
+    def test_opt_level_changes_kernel(self):
+        wl = mtv(250, 250)  # misaligned: boundary checks matter
+        params = {
+            "m_dpus": 16, "k_dpus": 1, "n_tasklets": 8, "cache": 16,
+            "host_threads": 1,
+        }
+        o0 = repro.compile(wl, target="upmem", params=params, opt_level="O0")
+        o3 = repro.compile(wl, target="upmem", params=params, opt_level="O3")
+        assert o3.profile().latency.kernel < o0.profile().latency.kernel
+
+
+class TestUpmemTarget:
+    def test_schedule_compile_matches_build(self):
+        from repro.runtime import build as schedule_build
+        from tests.conftest import make_mtv_schedule
+
+        sch = make_mtv_schedule(64, 32)
+        exe = repro.compile(sch, target="upmem")
+        mod = schedule_build(make_mtv_schedule(64, 32))
+        ins = {"A": np.ones((64, 32), np.float32), "B": np.ones(32, np.float32)}
+        (a,) = exe.run(ins)
+        (b,) = mod.run(ins)
+        assert a.tobytes() == b.tobytes()
+
+    def test_invalid_params_raise(self):
+        wl = mtv(64, 64)
+        with pytest.raises(TargetError):
+            # 64K-element WRAM caching tile cannot fit (64 KB WRAM).
+            repro.compile(
+                wl, target="upmem",
+                params={"m_dpus": 64, "k_dpus": 1, "n_tasklets": 16,
+                        "cache": 65536, "host_threads": 1},
+            )
+
+    def test_default_params_are_sketch_seed(self):
+        wl = mtv(512, 512)
+        params = default_params(wl, DEFAULT_CONFIG)
+        exe = repro.compile(wl, target="upmem")
+        assert exe.params == params
+
+
+class TestPrimTarget:
+    def test_variants_ordering(self):
+        """Grid-searched variants never lose to PrIM defaults."""
+        wl = make_workload("mtv", "4MB")
+        default = PrimTarget().compile(wl, size="4MB").latency
+        e = PrimTarget(variant="e").compile(wl).latency
+        search = PrimTarget(variant="search").compile(wl).latency
+        assert e <= default * 1.001
+        assert search <= e * 1.001
+
+    def test_labels(self):
+        assert PrimTarget().label == "prim"
+        assert PrimTarget(variant="e").label == "prim_e"
+        assert PrimTarget(variant="search").label == "prim_search"
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError):
+            PrimTarget(variant="ultra")
+
+    def test_schedule_rejected(self):
+        from tests.conftest import make_mtv_schedule
+
+        with pytest.raises(TargetError):
+            PrimTarget().compile(make_mtv_schedule(16, 16))
+
+    def test_search_params_exposed(self):
+        exe = PrimTarget(variant="search").compile(mtv(512, 512))
+        assert exe.params and "n_tasklets" in exe.params
+
+
+class TestSimplePimTarget:
+    def test_supports_only_map_reduce(self):
+        target = SimplePimTarget()
+        assert target.supports(va(1024))
+        assert target.supports(red(1024))
+        assert not target.supports(mtv(32, 32))
+
+    def test_unsupported_rejected(self):
+        with pytest.raises(TargetError):
+            SimplePimTarget().compile(mtv(32, 32))
+
+    def test_functional_run(self):
+        wl = va(4096)
+        exe = repro.compile(wl, target="simplepim")
+        ins = wl.random_inputs(0)
+        (out,) = exe.run(ins)
+        np.testing.assert_allclose(out, wl.reference_output(ins), rtol=1e-5)
+
+
+class TestRooflineTargets:
+    def test_cpu_run_matches_reference(self):
+        wl = mtv(64, 48)
+        ins = wl.random_inputs(3)
+        (out,) = repro.compile(wl, target="cpu").run(ins)
+        np.testing.assert_allclose(out, ins["A"] @ ins["B"], rtol=1e-5)
+
+    def test_gpu_faster_than_cpu(self):
+        wl = make_workload("mtv", "64MB")
+        assert (
+            repro.compile(wl, target="gpu").latency
+            < repro.compile(wl, target="cpu").latency
+        )
+
+    def test_profile_breakdown_totals(self):
+        wl = make_workload("va", "4MB")
+        prof = repro.compile(wl, target="cpu").profile()
+        assert prof.latency.total == pytest.approx(
+            CpuTarget().model.latency(wl)
+        )
+
+    def test_schedule_rejected(self):
+        from tests.conftest import make_mtv_schedule
+
+        with pytest.raises(TargetError):
+            repro.compile(make_mtv_schedule(16, 16), target="cpu")
+
+
+class TestHbmPimTarget:
+    def test_mac_reduction_supported(self):
+        target = HbmPimTarget()
+        assert target.supports(mtv(64, 64))
+        assert not target.supports(va(64))
+
+    def test_non_mac_rejected(self):
+        with pytest.raises(TargetError):
+            repro.compile(va(1024), target="hbm-pim")
+
+    def test_estimate_executable(self):
+        exe = repro.compile(mtv(256, 256), target="hbm-pim")
+        assert isinstance(exe, EstimateExecutable)
+        assert exe.estimate.supported
+        assert exe.latency == exe.estimate.latency_s
+        with pytest.raises(TargetError):
+            exe.run({})
+
+    def test_schedule_requires_total_macs(self):
+        from tests.conftest import make_mtv_schedule
+
+        with pytest.raises(TargetError):
+            repro.compile(make_mtv_schedule(16, 16), target="hbm-pim")
+        exe = repro.compile(
+            make_mtv_schedule(16, 16), target="hbm-pim", total_macs=16 * 16
+        )
+        assert exe.latency > 0
+
+
+class TestCacheKeys:
+    _PARAMS = {"m_dpus": 8, "k_dpus": 1, "n_tasklets": 4, "cache": 16,
+               "host_threads": 1}
+
+    def test_same_pipeline_targets_share_artifacts(self):
+        """Targets whose compilation is fully described by the key's
+        (pipeline, config, opt, params) produce byte-identical modules
+        and must share cache entries — the tuner's candidates and a bare
+        ``compile_params`` sweep over the same points compile once."""
+        wl = mtv(64, 64)
+        base = artifact_key(wl, self._PARAMS, DEFAULT_CONFIG)
+        upmem = artifact_key(
+            wl, self._PARAMS, DEFAULT_CONFIG, target=UpmemTarget()
+        )
+        prim = artifact_key(
+            wl, self._PARAMS, DEFAULT_CONFIG, target=PrimTarget()
+        )
+        assert base == upmem == prim
+
+    def test_custom_token_partitions(self):
+        """A target that alters compilation beyond the standard knobs
+        declares it via cache_token() and gets its own artifacts."""
+
+        class TunedPassTarget(UpmemTarget):
+            def cache_token(self):
+                return "custom-pass-config-v1"
+
+        wl = mtv(64, 64)
+        base = artifact_key(wl, self._PARAMS, DEFAULT_CONFIG)
+        custom = artifact_key(
+            wl, self._PARAMS, DEFAULT_CONFIG, target=TunedPassTarget()
+        )
+        assert base != custom
+        again = artifact_key(
+            wl, self._PARAMS, DEFAULT_CONFIG, target=TunedPassTarget()
+        )
+        assert custom == again
+
+    def test_raw_token_accepted(self):
+        wl = mtv(64, 64)
+        k1 = artifact_key(wl, self._PARAMS, DEFAULT_CONFIG, target="tok-a")
+        k2 = artifact_key(wl, self._PARAMS, DEFAULT_CONFIG, target="tok-b")
+        assert k1 != k2
+
+
+class TestCrossTargetTuning:
+    def test_tuner_accepts_target_kind(self):
+        wl = mtv(256, 256)
+        r_default = autotune(wl, n_trials=8, seed=0)
+        r_target = autotune(wl, n_trials=8, seed=0, target="upmem")
+        assert r_default.best_params == r_target.best_params
+        assert r_default.best_latency == r_target.best_latency
+
+    def test_tuner_rejects_target_plus_config(self):
+        from repro.autotune import Tuner
+
+        with pytest.raises(ValueError):
+            Tuner(mtv(64, 64), config=SMALL, target="upmem")
+
+    def test_hbm_pim_tuning(self):
+        wl = mtv(256, 256)
+        result = autotune(wl, n_trials=8, seed=0, target=HbmPimTarget())
+        assert result.best_latency > 0
+        # Scored by the estimator, not the UPMEM model.
+        exe = repro.compile(
+            wl, target="hbm-pim", params=result.best_params
+        )
+        assert exe.latency == pytest.approx(result.best_latency, rel=0.2)
+
+    def test_custom_config_target_tuning(self):
+        wl = mtv(128, 128)
+        result = autotune(wl, n_trials=8, seed=0, target=UpmemTarget(SMALL))
+        # The small machine bounds the search space.
+        assert result.best_params["m_dpus"] <= SMALL.n_dpus

@@ -93,6 +93,31 @@ class TestRegistry:
         with pytest.raises(KeyError):
             make_workload("conv", "4MB")
 
+    def test_every_size_label_matches_byte_size(self):
+        """Each entry's defining tensor is exactly its labelled size.
+
+        The label counts the principal streamed tensor: the (single)
+        input vector for VA/GEVA, the matrix/tensor operand for
+        MTV/GEMV/TTV/MMTV, and — following the paper's halved-size
+        scheme, where RED streams one tensor instead of VA's two — twice
+        the input vector for RED.
+        """
+        from repro.workloads.registry import SIZED_WORKLOADS
+
+        elem_bytes = 4  # float32
+        for name, sizes in SIZED_WORKLOADS.items():
+            for label, args in sizes.items():
+                label_bytes = int(label[:-2]) * 1024 * 1024
+                elems = 1
+                for dim in args:
+                    elems *= dim
+                if name == "red":
+                    elems *= 2  # halved-size scheme
+                assert elems * elem_bytes == label_bytes, (
+                    f"{name}/{label}: {args} is {elems * elem_bytes} bytes,"
+                    f" label says {label_bytes}"
+                )
+
 
 class TestGptj:
     def test_fc_shapes_6b(self):
