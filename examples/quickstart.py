@@ -11,15 +11,24 @@ Walks the ATiM flow around the single entry point
    through the same front door, with per-pass timing in a PassContext;
 3. compare one workload across every registered target — UPMEM, the
    PrIM/SimplePIM baselines, the CPU/GPU rooflines and the HBM-PIM
-   estimate — in one generic loop.
+   estimate — in one generic loop;
+4. autotune with a persistent database: measured candidates append to a
+   JSON-lines store as the search runs, a second search warm-starts from
+   it (replaying measurements instead of re-simulating), and
+   ``repro.compile(wl, tuned=True, db=...)`` resolves the stored best
+   without searching again.
 
 Run:  python examples/quickstart.py
 """
+
+import os
+import tempfile
 
 import numpy as np
 
 import repro
 from repro import PassContext, te
+from repro.autotune import TuningCache, autotune
 from repro.schedule import Schedule
 from repro.workloads import make_workload, mtv
 
@@ -110,12 +119,49 @@ def compare_targets() -> None:
         print(f"{kind:10s} {exe.latency * 1e3:10.3f} ms")
 
 
+def persistent_tuning() -> None:
+    # 4. Persistent tuning: measured candidates land in a versioned
+    #    JSON-lines database (one file, many workload/target groups) as
+    #    the search runs, so interrupted runs resume and later compiles
+    #    reuse the winner.  Real projects keep one db under results/.
+    wl = mtv(512, 512)
+    with tempfile.TemporaryDirectory() as tmp:
+        db = os.path.join(tmp, "tune.jsonl")
+
+        cold = autotune(wl, n_trials=32, seed=0, db=db, parallel_measure=4)
+        print(
+            f"cold search: best {cold.best_latency * 1e3:.3f} ms "
+            f"({cold.measure_cache_misses} candidates simulated)"
+        )
+
+        # Same search again: --resume replays every measurement from the
+        # store — identical history, zero re-simulation.
+        warm = autotune(wl, n_trials=32, seed=0, db=db, resume=True)
+        assert warm.history == cold.history
+        print(
+            f"warm re-run: best {warm.best_latency * 1e3:.3f} ms "
+            f"({warm.measure_cache_hits} measurements served from the db)"
+        )
+
+        # tuned=True resolves the stored best without searching at all.
+        exe = repro.compile(wl, target="upmem", tuned=True, db=db,
+                            tune_trials=32)
+        assert exe.params == cold.best_params
+        records = TuningCache(db).load(cold.db_key)
+        print(
+            f"tuned=True compile reused the stored best "
+            f"({len(records)} records on disk): {exe.params}"
+        )
+
+
 def main() -> None:
     compile_workload()
     print()
     compile_schedule()
     print()
     compare_targets()
+    print()
+    persistent_tuning()
 
 
 if __name__ == "__main__":

@@ -2,7 +2,13 @@
 
 from .compile import CompileEngine, compile_params, default_engine
 from .cost_model import CostModel
-from .database import Database, TuningRecord
+from .database import (
+    DB_SCHEMA_VERSION,
+    Database,
+    DatabaseFormatError,
+    TuningCache,
+    TuningRecord,
+)
 from .features import FEATURE_NAMES, extract_features
 from .sketch import (
     SketchError,
@@ -10,11 +16,21 @@ from .sketch import (
     param_space,
     subspace_of,
 )
-from .tuner import Candidate, TuneResult, Tuner, autotune, seed_params
+from .tuner import (
+    Candidate,
+    TuneResult,
+    Tuner,
+    autotune,
+    measure_stats,
+    seed_params,
+    tuned_params,
+)
 from .verifier import verify
 
 __all__ = [
     "autotune",
+    "tuned_params",
+    "measure_stats",
     "CompileEngine",
     "compile_params",
     "default_engine",
@@ -22,7 +38,10 @@ __all__ = [
     "TuneResult",
     "Candidate",
     "Database",
+    "TuningCache",
     "TuningRecord",
+    "DatabaseFormatError",
+    "DB_SCHEMA_VERSION",
     "CostModel",
     "extract_features",
     "FEATURE_NAMES",

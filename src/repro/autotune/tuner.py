@@ -22,16 +22,49 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..pipeline import ArtifactCache, CacheStats
+from ..pipeline import ArtifactCache, CacheStats, tuning_key
+from ..target.executor import Executor
 from ..upmem.config import DEFAULT_CONFIG, UpmemConfig
 from ..workloads import Workload
 from .compile import CompileEngine
 from .cost_model import CostModel
-from .database import Database, TuningRecord
+from .database import Database, TuningCache, TuningRecord
 from .features import extract_features
 from .sketch import param_space, subspace_of
 
-__all__ = ["Candidate", "TuneResult", "Tuner", "autotune", "seed_params"]
+__all__ = [
+    "Candidate",
+    "TuneResult",
+    "Tuner",
+    "autotune",
+    "measure_stats",
+    "seed_params",
+    "tuned_params",
+]
+
+#: Process-wide measurement-memo accounting (mirrors the compile cache's
+#: ``default_engine().stats``): every ``Tuner.tune`` adds its per-run
+#: warm-start hits/misses here so the harness can report warm vs cold.
+_MEASURE_STATS = CacheStats()
+
+
+def measure_stats() -> CacheStats:
+    """Snapshot of process-wide measurement-memo hit/miss counters."""
+    return _MEASURE_STATS.snapshot()
+
+
+def _resolve_target(target: Optional[object], config: Optional[UpmemConfig]):
+    """The Tuner's target semantics, shared with the ``tuned_params``
+    fast path so both compute identical ``tuning_key`` groups:
+    ``target`` supersedes the raw-config interface; ``config`` is sugar
+    for an UPMEM target with a custom machine description."""
+    from ..target import UpmemTarget, get_target
+
+    if target is not None:
+        if config is not None:
+            raise ValueError("pass either target or config, not both")
+        return get_target(target)
+    return UpmemTarget(config=config or DEFAULT_CONFIG)
 
 
 def seed_params(
@@ -128,11 +161,22 @@ class TuneResult:
     compile_cache_hits: int = 0
     compile_cache_misses: int = 0
     compile_cache_disk_hits: int = 0
+    #: warm-start accounting: measurements served from a persistent
+    #: tuning database (``db=``/``resume=``) vs freshly simulated.
+    measure_cache_hits: int = 0
+    measure_cache_misses: int = 0
+    #: group digest in the persistent store (empty when no ``db``).
+    db_key: str = ""
 
     @property
     def compile_cache_hit_rate(self) -> float:
         lookups = self.compile_cache_hits + self.compile_cache_misses
         return self.compile_cache_hits / lookups if lookups else 0.0
+
+    @property
+    def measure_cache_hit_rate(self) -> float:
+        lookups = self.measure_cache_hits + self.measure_cache_misses
+        return self.measure_cache_hits / lookups if lookups else 0.0
 
     def best_gflops(self) -> float:
         return self.workload.flops / self.best_latency / 1e9
@@ -162,24 +206,19 @@ class Tuner:
         seed_defaults: bool = True,
         engine: Optional[CompileEngine] = None,
         cache: Optional[ArtifactCache] = None,
+        parallel_measure: int = 1,
+        db: Optional[object] = None,
+        resume: bool = False,
     ) -> None:
-        # ``target`` supersedes the raw-config interface: candidates are
-        # sketched on the UPMEM grid but *scored* by the target's own
-        # performance model, so the same search drives UPMEM, HBM-PIM or
-        # any registered backend.  ``config`` is kept as sugar for an
-        # UPMEM target with a custom machine description.
-        from ..target import UpmemTarget, get_target
-
-        if target is not None:
-            if config is not None:
-                raise ValueError("pass either target or config, not both")
-            self.target = get_target(target)
-        else:
-            self.target = UpmemTarget(config=config or DEFAULT_CONFIG)
+        # Candidates are sketched on the UPMEM grid but *scored* by the
+        # target's own performance model, so the same search drives
+        # UPMEM, HBM-PIM or any registered backend.
+        self.target = _resolve_target(target, config)
         self.workload = workload
         self.config = self.target.search_config
         self.n_trials = n_trials
         self.batch_size = batch_size
+        self.seed = seed
         self.rng = random.Random(seed)
         self.balanced = balanced
         self.adaptive_epsilon = adaptive_epsilon
@@ -207,19 +246,62 @@ class Tuner:
                 cache=cache if cache is not None else ArtifactCache()
             )
         self.engine = engine
-        self._explore_until = int(0.4 * n_trials)
+        #: Tiny budgets (``n_trials < 3``) used to floor this at 0, which
+        #: made ``epsilon`` return 0.05 for every trial and skip
+        #: exploration entirely; small runs get one exploratory trial.
+        self._explore_until = max(1, int(0.4 * n_trials))
+        #: Measurement fan-out: batch candidates are independent, so they
+        #: shard across the same order-preserving thread pool
+        #: ``Executable.run_batch`` uses; 1 = the sequential code path.
+        self.parallel_measure = max(1, int(parallel_measure))
+        self._executor = Executor(max_workers=self.parallel_measure)
+        #: Persistent tuning store (warm start / resume).  ``db`` is a
+        #: path or :class:`TuningCache`; measured records append to it
+        #: after every batch.  ``resume`` additionally pre-loads this
+        #: group's records as a measurement memo: the search *replays*
+        #: deterministically from its seed, and candidates the store
+        #: already knows skip re-measurement, so a killed-and-resumed run
+        #: walks the exact trajectory (and history) of an uninterrupted
+        #: one.
+        self.tuning_cache = (
+            TuningCache.ensure(db) if db is not None else None
+        )
+        if resume and self.tuning_cache is None:
+            raise ValueError("resume=True requires a db to resume from")
+        self.db_key = tuning_key(
+            workload, self.config, self.target, opt_level=self.optimize
+        )
+        self._warm: Dict[Tuple, TuningRecord] = {}
+        if resume and self.tuning_cache is not None:
+            for record in self.tuning_cache.load(self.db_key).records():
+                self._warm[record.key] = record
+        self._measure_hits = 0
+        self._measure_misses = 0
 
     # -- candidate construction ------------------------------------------------
     def _random_params(self) -> Dict[str, int]:
         return {k: self.rng.choice(v) for k, v in self.space.items()}
 
     def _mutate_params(self, params: Dict[str, int]) -> Dict[str, int]:
+        """One-step mutation that always yields *different* params.
+
+        Steps are reflected at domain edges (clamping used to mutate
+        boundary candidates into themselves, wasting the elite-mutation
+        slot on a duplicate ``seen`` then rejected), and only keys with
+        more than one choice are eligible.
+        """
         new = dict(params)
-        key = self.rng.choice(list(self.space))
+        keys = [k for k, domain in self.space.items() if len(domain) > 1]
+        if not keys:
+            return new
+        key = self.rng.choice(keys)
         domain = self.space[key]
         idx = domain.index(new[key]) if new[key] in domain else 0
         step = self.rng.choice([-1, 1])
-        new[key] = domain[max(0, min(len(domain) - 1, idx + step))]
+        nidx = idx + step
+        if not 0 <= nidx < len(domain):
+            nidx = idx - step  # reflect off the boundary
+        new[key] = domain[nidx]
         return new
 
     def _build(self, params: Dict[str, int]) -> Optional[Candidate]:
@@ -245,7 +327,7 @@ class Tuner:
         """Exploration rate at a given trial (adaptive: 0.5 → 0.05)."""
         if not self.adaptive_epsilon:
             return 0.05
-        if trial >= self._explore_until or self._explore_until == 0:
+        if trial >= self._explore_until:
             return 0.05
         frac = trial / self._explore_until
         return 0.5 + (0.05 - 0.5) * frac
@@ -339,8 +421,28 @@ class Tuner:
 
         Batched so the whole round shares one evaluation step (matching
         real-hardware drivers that upload and time a program batch).
+        Candidates already present in the warm-start memo reuse their
+        stored latency; the rest fan out across ``parallel_measure``
+        workers.  The pool map preserves submission order and each
+        measurement is a pure function of (module, config), so results
+        are bit-for-bit identical to the sequential path.
         """
-        return [self._measure(cand) for cand in batch]
+        latencies: List[Optional[float]] = [None] * len(batch)
+        fresh: List[int] = []
+        for i, cand in enumerate(batch):
+            record = self._warm.get(cand.key)
+            if record is not None:
+                latencies[i] = record.latency
+                self._measure_hits += 1
+            else:
+                fresh.append(i)
+                self._measure_misses += 1
+        results = self._executor.map(
+            self._measure, [batch[i] for i in fresh]
+        )
+        for i, latency in zip(fresh, results):
+            latencies[i] = latency
+        return latencies
 
     def tune(self) -> TuneResult:
         """Run the search; returns the best candidate and full history."""
@@ -350,6 +452,8 @@ class Tuner:
         measured: List[float] = []
         best: Optional[TuningRecord] = None
         stats_before = self.engine.stats.snapshot()
+        self._measure_hits = 0
+        self._measure_misses = 0
 
         while trial < self.n_trials:
             start = time.perf_counter()
@@ -359,6 +463,7 @@ class Tuner:
                 break
             batch = batch[: self.n_trials - trial]
             latencies = self._measure_batch(batch)
+            fresh_records: List[TuningRecord] = []
             for cand, latency in zip(batch, latencies):
                 measured.append(latency)
                 record = TuningRecord(
@@ -369,10 +474,23 @@ class Tuner:
                     trial=trial,
                 )
                 self.database.add(record)
+                if cand.key not in self._warm:
+                    fresh_records.append(record)
                 trial += 1
                 if best is None or latency < best.latency:
                     best = record
                 history.append((trial, best.latency))
+            if self.tuning_cache is not None:
+                # Incremental persistence: a killed run keeps every batch
+                # measured so far, and --resume replays past it for free.
+                self.tuning_cache.append(
+                    self.db_key,
+                    fresh_records,
+                    meta={
+                        "workload": self.workload.name,
+                        "target": self.target.kind,
+                    },
+                )
             X, y = self.database.training_data()
             self.cost_model.fit(X, y)
             round_times.append(time.perf_counter() - start)
@@ -380,6 +498,23 @@ class Tuner:
         if best is None:
             raise RuntimeError(
                 f"no valid candidate found for workload {self.workload.name!r}"
+            )
+        if self.tuning_cache is not None:
+            # The run satisfied the *requested* budget either by
+            # measuring n_trials candidates or by exhausting the valid
+            # space first (``trial`` < n_trials with an empty batch), so
+            # the marker records n_trials: an exhausted-space group must
+            # still resolve instantly for the same budget instead of
+            # re-searching on every tuned=True compile.
+            self.tuning_cache.mark_complete(
+                self.db_key,
+                self.n_trials,
+                meta={
+                    "workload": self.workload.name,
+                    "target": self.target.kind,
+                    "seed": self.seed,
+                    "measured_trials": trial,
+                },
             )
         best_candidate = self._build(best.params)
         assert best_candidate is not None
@@ -391,6 +526,8 @@ class Tuner:
             misses=totals.misses - stats_before.misses,
             disk_hits=totals.disk_hits - stats_before.disk_hits,
         )
+        _MEASURE_STATS.hits += self._measure_hits
+        _MEASURE_STATS.misses += self._measure_misses
         return TuneResult(
             workload=self.workload,
             best_params=best.params,
@@ -403,6 +540,9 @@ class Tuner:
             compile_cache_hits=stats.hits,
             compile_cache_misses=stats.misses,
             compile_cache_disk_hits=stats.disk_hits,
+            measure_cache_hits=self._measure_hits,
+            measure_cache_misses=self._measure_misses,
+            db_key=self.db_key if self.tuning_cache is not None else "",
         )
 
 
@@ -420,6 +560,12 @@ def autotune(
     candidates (default: the simulated UPMEM system); pass a kind string
     (``"upmem"``, ``"hbm-pim"``, ...) or a configured
     :class:`repro.target.Target` instance.
+
+    Persistence/scale knobs forward to :class:`Tuner`:
+    ``db=`` (path or :class:`TuningCache`) appends measured records to a
+    persistent store, ``resume=True`` warm-starts from it, and
+    ``parallel_measure=N`` shards each measurement batch across N
+    workers (bit-for-bit identical results to serial).
     """
     tuner = Tuner(
         workload,
@@ -430,3 +576,50 @@ def autotune(
         **kwargs,
     )
     return tuner.tune()
+
+
+def tuned_params(
+    workload: Workload,
+    target: Optional[object] = None,
+    db: Optional[object] = None,
+    n_trials: int = 64,
+    seed: int = 0,
+    resume: Optional[bool] = None,
+    optimize: str = "O3",
+    **kwargs,
+) -> Dict[str, int]:
+    """Best-known schedule params for a workload on a target.
+
+    With a persistent ``db`` holding a *completed* search of at least
+    ``n_trials`` for this (workload, target, config) group (searches
+    append a ``run_complete`` marker when they finish), the stored best
+    is returned without searching — a single file scan, no compile
+    machinery.  Anything less — a cold store, or a group built only
+    from interrupted runs, however many records they left — runs the
+    search, warm-started and persisting into ``db`` when given, and
+    returns its winner.  ``resume`` defaults to warm-starting whenever
+    ``db`` is given; pass ``resume=False`` to persist without
+    warm-starting (which also forces a fresh search).  This backs
+    ``repro.compile(workload, target=..., tuned=True)``.
+    """
+    resume = db is not None if resume is None else resume
+    if db is not None and resume:
+        cache = TuningCache.ensure(db)
+        resolved = _resolve_target(target, kwargs.get("config"))
+        key = tuning_key(
+            workload, resolved.search_config, resolved, opt_level=optimize
+        )
+        best, completed = cache.group_summary(key)
+        if completed >= n_trials and best is not None:
+            return dict(best.params)
+    tuner = Tuner(
+        workload,
+        target=target,
+        n_trials=n_trials,
+        seed=seed,
+        db=db,
+        resume=resume,
+        optimize=optimize,
+        **kwargs,
+    )
+    return dict(tuner.tune().best_params)

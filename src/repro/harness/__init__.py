@@ -14,6 +14,7 @@ from .experiments import (
     fig14_search_strategies,
     fig15_tuning_overhead,
     compile_cache_stats,
+    measure_cache_stats,
     profile_params,
     table3_parameters,
 )
@@ -22,6 +23,7 @@ from .reporting import render_curve, render_table, summarize_speedups
 __all__ = [
     "profile_params",
     "compile_cache_stats",
+    "measure_cache_stats",
     "compare_targets",
     "fig3a_cache_tile_sweep",
     "fig3b_tiling_schemes",

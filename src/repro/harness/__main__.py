@@ -8,10 +8,19 @@ Usage::
     python -m repro.harness fig14 --trials 256
     python -m repro.harness all --trials 32
     python -m repro.harness fig9 --json results/BENCH_fig9.json
+    python -m repro.harness fig15 --db results/tune.jsonl --resume \
+        --parallel-measure 4
 
-``--json`` writes the raw figure rows plus compile-cache statistics as
-machine-readable JSON (``BENCH_*.json``-style), so successive runs can
-be diffed to track the performance trajectory across PRs.
+``--json`` writes the raw figure rows plus compile-cache and
+tuning-database statistics as machine-readable JSON
+(``BENCH_*.json``-style), so successive runs can be diffed to track the
+performance trajectory across PRs.
+
+``--db PATH`` appends every measured tuning candidate to a persistent
+JSON-lines database; ``--resume`` warm-starts searches from it (an
+interrupted sweep replays instantly up to where it died), and
+``--parallel-measure N`` shards each measurement batch across N workers
+with bit-for-bit identical results.
 """
 
 from __future__ import annotations
@@ -27,6 +36,15 @@ from .reporting import render_curve, render_table
 def _print_rows(rows, title: str) -> None:
     print(render_table(rows, title=title))
     print()
+
+
+def _tuning_kwargs(args: argparse.Namespace) -> dict:
+    """Persistent-tuning knobs shared by every search-driven experiment."""
+    return {
+        "db": args.db,
+        "resume": args.resume,
+        "parallel_measure": args.parallel_measure,
+    }
 
 
 def run_experiment(name: str, args: argparse.Namespace):
@@ -49,20 +67,23 @@ def run_experiment(name: str, args: argparse.Namespace):
             sizes=args.sizes or None,
             n_trials=args.trials,
             seed=args.seed,
+            **_tuning_kwargs(args),
         )
         _print_rows(data, "Fig 9")
     elif name == "tab3":
         data = experiments.table3_parameters(
             workloads=args.workloads or None, n_trials=args.trials,
-            seed=args.seed,
+            seed=args.seed, **_tuning_kwargs(args),
         )
         _print_rows(data, "Table 3")
     elif name == "fig10":
-        data = experiments.fig10_gptj(n_trials=args.trials, seed=args.seed)
+        data = experiments.fig10_gptj(
+            n_trials=args.trials, seed=args.seed, **_tuning_kwargs(args)
+        )
         _print_rows(data, "Fig 10")
     elif name == "fig11":
         data = experiments.fig11_mmtv_scaling(
-            n_trials=args.trials, seed=args.seed
+            n_trials=args.trials, seed=args.seed, **_tuning_kwargs(args)
         )
         _print_rows(data, "Fig 11")
     elif name == "fig12":
@@ -73,19 +94,22 @@ def run_experiment(name: str, args: argparse.Namespace):
         _print_rows(data, "Fig 13")
     elif name == "fig14":
         data = experiments.fig14_search_strategies(
-            n_trials=args.trials, seed=args.seed
+            n_trials=args.trials, seed=args.seed, **_tuning_kwargs(args)
         )
         for label, curve in data.items():
             print(render_curve(curve, title=f"Fig 14: {label}"))
             print()
     elif name == "fig15":
         data = experiments.fig15_tuning_overhead(
-            n_trials=args.trials, seed=args.seed
+            n_trials=args.trials, seed=args.seed, **_tuning_kwargs(args)
         )
         print("Fig 15: UPMEM candidate latencies (s):")
         print(sorted(data["upmem_measured"])[:10], "...")
         print("CPU candidate latencies (s):")
         print(sorted(data["cpu_measured"])[:10], "...")
+        hits = int(data["measure_cache_hits"][0])
+        misses = int(data["measure_cache_misses"][0])
+        print(f"measurements: {hits} warm (from --db) / {misses} cold")
     else:
         raise SystemExit(f"unknown experiment {name!r}")
     return data
@@ -113,8 +137,9 @@ def _jsonable(obj):
 
 
 def write_json(path: str, results, args: argparse.Namespace) -> None:
-    """Dump figure rows + compile-cache stats as machine-readable JSON."""
+    """Dump figure rows + compile/tuning cache stats as JSON."""
     stats = experiments.compile_cache_stats()
+    measure = experiments.measure_cache_stats()
     payload = {
         "experiments": _jsonable(results),
         "cache_stats": {
@@ -123,11 +148,21 @@ def write_json(path: str, results, args: argparse.Namespace) -> None:
             "disk_hits": stats.disk_hits,
             "hit_rate": stats.hit_rate,
         },
+        "tuning_stats": {
+            # warm = measurements replayed from the persistent --db
+            # store, cold = freshly simulated candidates.
+            "measure_hits": measure.hits,
+            "measure_misses": measure.misses,
+            "warm_hit_rate": measure.hit_rate,
+        },
         "settings": {
             "trials": args.trials,
             "seed": args.seed,
             "workloads": args.workloads,
             "sizes": args.sizes,
+            "db": args.db,
+            "resume": args.resume,
+            "parallel_measure": args.parallel_measure,
         },
     }
     with open(path, "w") as fh:
@@ -154,7 +189,24 @@ def main(argv=None) -> int:
         "--json", metavar="PATH", default=None,
         help="also dump figure rows + cache stats as JSON to PATH",
     )
+    parser.add_argument(
+        "--db", metavar="PATH", default=None,
+        help="persistent tuning database (JSON-lines); measured"
+             " candidates append to it as the search runs",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="warm-start searches from --db (replays an interrupted or"
+             " prior run's measurements instead of re-simulating)",
+    )
+    parser.add_argument(
+        "--parallel-measure", type=int, default=1, metavar="N",
+        help="shard each measurement batch across N workers"
+             " (results are bit-for-bit identical to serial)",
+    )
     args = parser.parse_args(argv)
+    if args.resume and not args.db:
+        parser.error("--resume requires --db PATH")
 
     names = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
     results = {}

@@ -11,7 +11,7 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..autotune import Tuner, autotune
+from ..autotune import Tuner, autotune, measure_stats
 from ..autotune.compile import default_engine
 from ..pipeline import CacheStats
 from ..baselines import CpuModel, GpuModel
@@ -35,6 +35,7 @@ from ..workloads import (
 __all__ = [
     "profile_params",
     "compile_cache_stats",
+    "measure_cache_stats",
     "compare_targets",
     "fig3a_cache_tile_sweep",
     "fig3b_tiling_schemes",
@@ -77,6 +78,13 @@ def profile_params(
 def compile_cache_stats() -> CacheStats:
     """Hit/miss counters of the harness's shared compile cache."""
     return default_engine().stats.snapshot()
+
+
+def measure_cache_stats() -> CacheStats:
+    """Warm-vs-cold measurement counters across every tuning run in the
+    process: hits are candidates served from a persistent ``--db``
+    store, misses were freshly simulated."""
+    return measure_stats()
 
 
 # ---------------------------------------------------------------------------
@@ -256,13 +264,18 @@ def compare_targets(
     seed: int = 0,
     size: Optional[str] = None,
     meta: Optional[Dict] = None,
+    db: Optional[str] = None,
+    resume: bool = False,
+    parallel_measure: int = 1,
 ) -> Dict:
     """One comparison row: every baseline target vs autotuned ATiM.
 
     Produces ``<label>_ms`` and ``atim_speedup_vs_<label>`` columns per
     supporting target plus ``atim_ms`` / ``atim_params``; targets that
     do not support the workload (e.g. SimplePIM outside va/geva/red) are
-    skipped, matching the paper's figures.
+    skipped, matching the paper's figures.  ``db``/``resume``/
+    ``parallel_measure`` forward to the tuning run (persistent
+    warm-start and measurement fan-out).
     """
     row: Dict = dict(meta or {})
     latencies: Dict[str, float] = {}
@@ -275,7 +288,8 @@ def compare_targets(
         if exe.params is not None and target.label != "prim":
             row[f"{target.label}_params"] = exe.params
     tune = autotune(
-        workload, n_trials=n_trials, seed=seed, engine=default_engine()
+        workload, n_trials=n_trials, seed=seed, engine=default_engine(),
+        db=db, resume=resume, parallel_measure=parallel_measure,
     )
     row["atim_ms"] = tune.best_latency * 1e3
     for label, latency in latencies.items():
@@ -300,6 +314,9 @@ def fig9_tensor_ops(
     sizes: Optional[Sequence[str]] = None,
     n_trials: int = 48,
     seed: int = 0,
+    db: Optional[str] = None,
+    resume: bool = False,
+    parallel_measure: int = 1,
 ) -> List[Dict]:
     """PrIM / PrIM(E) / PrIM+search / SimplePIM / ATiM / CPU comparison."""
     targets = _baseline_targets()
@@ -317,13 +334,21 @@ def fig9_tensor_ops(
                     seed=seed,
                     size=size,
                     meta={"workload": name, "size": size},
+                    db=db,
+                    resume=resume,
+                    parallel_measure=parallel_measure,
                 )
             )
     return rows
 
 
 def table3_parameters(
-    workloads: Optional[Sequence[str]] = None, n_trials: int = 48, seed: int = 0
+    workloads: Optional[Sequence[str]] = None,
+    n_trials: int = 48,
+    seed: int = 0,
+    db: Optional[str] = None,
+    resume: bool = False,
+    parallel_measure: int = 1,
 ) -> List[Dict]:
     """Autotuned parameters (Table 3): PrIM defaults vs searches vs ATiM."""
     prim_default = PrimTarget()
@@ -332,7 +357,10 @@ def table3_parameters(
     for name in workloads or ("red", "mtv", "gemv", "ttv", "mmtv", "va", "geva"):
         for size in _FIG9_SIZES[name]:
             wl = make_workload(name, size)
-            tune = autotune(wl, n_trials=n_trials, seed=seed, engine=default_engine())
+            tune = autotune(
+                wl, n_trials=n_trials, seed=seed, engine=default_engine(),
+                db=db, resume=resume, parallel_measure=parallel_measure,
+            )
             rows.append(
                 {
                     "workload": name,
@@ -362,9 +390,13 @@ def fig10_gptj(
     include_mtv: bool = True,
     n_trials: int = 32,
     seed: int = 0,
+    db: Optional[str] = None,
+    resume: bool = False,
+    parallel_measure: int = 1,
 ) -> List[Dict]:
     """MHA MMTV and FC MTV layers of GPT-J 6B/30B."""
     targets = _gptj_targets()
+    tuning = dict(db=db, resume=resume, parallel_measure=parallel_measure)
     rows = []
     for config in models:
         for batch in batches:
@@ -379,6 +411,7 @@ def fig10_gptj(
                         meta=dict(
                             model=config.name, op="mmtv", batch=batch, tokens=tok
                         ),
+                        **tuning,
                     )
                 )
         if include_mtv:
@@ -393,6 +426,7 @@ def fig10_gptj(
                         meta=dict(
                             model=config.name, op="mtv", layer=layer, m=m, k=k
                         ),
+                        **tuning,
                     )
                 )
     return rows
@@ -406,6 +440,9 @@ def fig11_mmtv_scaling(
     k: int = 256,
     n_trials: int = 32,
     seed: int = 0,
+    db: Optional[str] = None,
+    resume: bool = False,
+    parallel_measure: int = 1,
 ) -> List[Dict]:
     """ATiM speedup over PrIM(+search) vs MMTV spatial-dimension size."""
     targets = (PrimTarget(), PrimTarget(variant="search"))
@@ -418,6 +455,9 @@ def fig11_mmtv_scaling(
             n_trials=n_trials,
             seed=seed,
             meta={"spatial": m * n, "shape": f"{m}x{n}x{k}"},
+            db=db,
+            resume=resume,
+            parallel_measure=parallel_measure,
         )
         rows.append(
             {
@@ -523,8 +563,17 @@ def fig14_search_strategies(
     k: int = 8192,
     n_trials: int = 128,
     seed: int = 0,
+    db: Optional[str] = None,
+    resume: bool = False,
+    parallel_measure: int = 1,
 ) -> Dict[str, List[Tuple[int, float]]]:
-    """GFLOPS-vs-trials convergence for the four search variants."""
+    """GFLOPS-vs-trials convergence for the four search variants.
+
+    With ``db``/``resume``, repeated sweeps replay measured candidates
+    from the persistent store instead of re-simulating them (the curves
+    are identical either way — the search replays deterministically);
+    warm-vs-cold totals land in :func:`measure_cache_stats`.
+    """
     wl = mtv(m, k)
     variants = {
         "default_tvm": dict(balanced=False, adaptive_epsilon=False),
@@ -538,7 +587,8 @@ def fig14_search_strategies(
         # own exploration dynamics, as in the paper's Fig. 14.
         tuner = Tuner(
             wl, n_trials=n_trials, seed=seed, seed_defaults=False,
-            engine=default_engine(), **flags
+            engine=default_engine(), db=db, resume=resume,
+            parallel_measure=parallel_measure, **flags
         )
         result = tuner.tune()
         curves[name] = result.gflops_curve()
@@ -546,13 +596,21 @@ def fig14_search_strategies(
 
 
 def fig15_tuning_overhead(
-    m: int = 4096, k: int = 4096, n_trials: int = 64, seed: int = 0
+    m: int = 4096, k: int = 4096, n_trials: int = 64, seed: int = 0,
+    db: Optional[str] = None, resume: bool = False,
+    parallel_measure: int = 1,
 ) -> Dict[str, List[float]]:
     """Per-round tuning times and candidate latency scatter, CPU vs UPMEM.
 
     The CPU comparator is a parameter sweep over the roofline model
     (thread count / tile size) — stable latencies; UPMEM candidates show
     the long tail of bad tiling configurations the paper observes.
+
+    The returned ``measure_cache_hits`` / ``measure_cache_misses``
+    single-element lists say how much of the search was warm (served
+    from a persistent ``db``) vs cold (freshly simulated), so overhead
+    numbers from sweeps with and without ``--db``/``--resume`` are
+    directly comparable.
     """
     wl = mtv(m, k)
     # Private engine on purpose: this figure *measures* per-round tuning
@@ -560,7 +618,10 @@ def fig15_tuning_overhead(
     # experiments ran earlier in the process.  (The tuner's own intra-run
     # caching remains in effect — that is part of the system under
     # measurement.)
-    tuner = Tuner(wl, n_trials=n_trials, seed=seed)
+    tuner = Tuner(
+        wl, n_trials=n_trials, seed=seed, db=db, resume=resume,
+        parallel_measure=parallel_measure,
+    )
     result = tuner.tune()
 
     cpu_model = CpuModel()
@@ -580,4 +641,6 @@ def fig15_tuning_overhead(
         "upmem_measured": result.measured,
         "cpu_measured": cpu_measured,
         "upmem_best": [result.best_latency],
+        "measure_cache_hits": [float(result.measure_cache_hits)],
+        "measure_cache_misses": [float(result.measure_cache_misses)],
     }

@@ -31,6 +31,7 @@ from .artifact import (
     CacheStats,
     CompiledArtifact,
     artifact_key,
+    tuning_key,
     workload_signature,
 )
 from .passes import (
@@ -71,6 +72,7 @@ __all__ = [
     "CacheStats",
     "CompiledArtifact",
     "artifact_key",
+    "tuning_key",
     "workload_signature",
     "register_pipeline",
     "get_pipeline",

@@ -27,6 +27,7 @@ __all__ = [
     "CacheStats",
     "CACHE_SCHEMA_VERSION",
     "artifact_key",
+    "tuning_key",
     "workload_signature",
 ]
 
@@ -96,6 +97,38 @@ def artifact_key(
         pipeline,
         token,
         extra,
+    )
+    return hashlib.sha256(repr(payload).encode()).hexdigest()
+
+
+def tuning_key(
+    workload: Any,
+    config: Any = None,
+    target: Any = None,
+    opt_level: str = "O3",
+) -> str:
+    """Digest grouping tuning records by (workload, target, config,
+    opt level).
+
+    The persistent tuning database shares this machinery with the
+    artifact cache so the two stay in lockstep: measured latencies depend
+    on the same compiler behavior ``CACHE_SCHEMA_VERSION`` tracks, so a
+    compiler bump retires stale tuning groups exactly as it retires
+    stale artifacts.  ``opt_level`` is part of the key because the same
+    candidate measures differently under O0 vs O3 — warm-starting across
+    levels would serve stale latencies.  Unlike :func:`artifact_key`,
+    schedule params are *not* part of the key — a group holds every
+    measured candidate of one search space.
+    """
+    token = target.cache_token() if hasattr(target, "cache_token") else None
+    kind = getattr(target, "kind", target if isinstance(target, str) else None)
+    payload = (
+        CACHE_SCHEMA_VERSION,
+        workload_signature(workload) if workload is not None else None,
+        repr(config),
+        kind,
+        token,
+        opt_level,
     )
     return hashlib.sha256(repr(payload).encode()).hexdigest()
 

@@ -29,6 +29,10 @@ def compile(
     target: Union[str, Target] = "upmem",
     opt_level: str = "O3",
     params: Optional[Dict[str, int]] = None,
+    tuned: bool = False,
+    db: Optional[Any] = None,
+    tune_trials: int = 64,
+    tune_seed: int = 0,
     **hints: Any,
 ) -> Executable:
     """Compile a workload or explicit schedule for a target.
@@ -48,6 +52,16 @@ def compile(
     params:
         Explicit sketch parameters for workload compilation; default is
         the target's canonical choice (sketch seed, PrIM table, ...).
+    tuned:
+        Use autotuned parameters instead of the target's canonical
+        defaults.  With ``db=`` pointing at a persistent tuning database
+        (see :class:`repro.autotune.TuningCache`), a previously tuned
+        (workload, target, config) group resolves instantly from the
+        stored best; otherwise ``tune_trials`` search trials run first
+        (and persist into ``db`` when given).  Ignored for explicit
+        schedules and when ``params`` is passed.
+    db / tune_trials / tune_seed:
+        Persistent-store path and search budget/seed for ``tuned=True``.
     hints:
         Target-specific extras, e.g. ``size="64MB"`` (PrIM parameter
         table row) or ``total_macs=`` (HBM-PIM schedule estimates).
@@ -56,6 +70,24 @@ def compile(
     Returns the target's :class:`Executable` with the uniform
     ``run`` / ``run_batch`` / ``profile`` / ``latency`` surface.
     """
-    return get_target(target).compile(
+    target = get_target(target)
+    if tuned and params is None:
+        from ..schedule import Schedule
+
+        if not isinstance(workload_or_schedule, Schedule):
+            from ..autotune.tuner import tuned_params
+
+            params = tuned_params(
+                workload_or_schedule,
+                target=target,
+                db=db,
+                n_trials=tune_trials,
+                seed=tune_seed,
+                # Tune at the level the result will compile at: O0 and
+                # O3 measure differently, so they form separate db
+                # groups and must not trade winners.
+                optimize=opt_level,
+            )
+    return target.compile(
         workload_or_schedule, opt_level=opt_level, params=params, **hints
     )

@@ -88,6 +88,7 @@ class TestSeeding:
         for seed in seeds:
             assert seed in batch
 
+    @pytest.mark.slow
     def test_tuner_never_loses_to_its_seed(self):
         wl = mmtv(128, 320, 256)
         tuner = Tuner(wl, n_trials=16, seed=0)

@@ -90,6 +90,7 @@ class TestFeatures:
         assert not np.allclose(extract_features(m1), extract_features(m2))
 
 
+@pytest.mark.slow
 class TestTuner:
     def test_finds_valid_best(self):
         result = autotune(mtv(256, 256), n_trials=24, seed=0)

@@ -26,6 +26,7 @@ def test_fig13_runs(capsys):
     assert "issuable" in out
 
 
+@pytest.mark.slow
 def test_fig9_with_filters(capsys):
     assert main(["fig9", "--workloads", "red", "--sizes", "4MB",
                  "--trials", "8"]) == 0
@@ -48,8 +49,15 @@ class TestJsonDump:
         assert rows and all("kernel_ms" in row for row in rows)
         stats = payload["cache_stats"]
         assert set(stats) == {"hits", "misses", "disk_hits", "hit_rate"}
+        tuning = payload["tuning_stats"]
+        assert set(tuning) == {
+            "measure_hits", "measure_misses", "warm_hit_rate"
+        }
         assert payload["settings"]["seed"] == 0
+        assert payload["settings"]["db"] is None
+        assert payload["settings"]["parallel_measure"] == 1
 
+    @pytest.mark.slow
     def test_fig9_json_roundtrips_machine_readable(self, tmp_path):
         path = tmp_path / "BENCH_fig9.json"
         assert main([
@@ -62,6 +70,7 @@ class TestJsonDump:
         assert isinstance(row["atim_ms"], float)
         assert isinstance(row["atim_params"], dict)
 
+    @pytest.mark.slow
     def test_fig14_curves_serializable(self, tmp_path):
         path = tmp_path / "BENCH_fig14.json"
         assert main(["fig14", "--trials", "8", "--json", str(path)]) == 0
@@ -72,3 +81,41 @@ class TestJsonDump:
         }
         for curve in curves.values():
             assert all(len(point) == 2 for point in curve)
+
+
+@pytest.mark.slow
+class TestPersistentTuningFlags:
+    def test_db_written_and_resume_reported_warm(self, tmp_path, capsys):
+        db = tmp_path / "tune.jsonl"
+        json_path = tmp_path / "BENCH_fig15.json"
+        assert main(["fig15", "--trials", "8", "--db", str(db)]) == 0
+        assert db.exists()
+        out = capsys.readouterr().out
+        assert "0 warm (from --db) / 8 cold" in out
+
+        # Same run again with --resume: every measurement is served warm.
+        assert main([
+            "fig15", "--trials", "8", "--db", str(db), "--resume",
+            "--json", str(json_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "8 warm (from --db) / 0 cold" in out
+        payload = json.loads(json_path.read_text())
+        assert payload["experiments"]["fig15"]["measure_cache_hits"] == [8.0]
+        assert payload["tuning_stats"]["measure_hits"] >= 8
+        assert payload["settings"]["db"] == str(db)
+        assert payload["settings"]["resume"] is True
+
+    def test_parallel_measure_matches_serial(self, tmp_path):
+        p1 = tmp_path / "serial.json"
+        p4 = tmp_path / "parallel.json"
+        assert main(["fig14", "--trials", "8", "--json", str(p1)]) == 0
+        assert main(["fig14", "--trials", "8", "--parallel-measure", "4",
+                     "--json", str(p4)]) == 0
+        serial = json.loads(p1.read_text())["experiments"]["fig14"]
+        parallel = json.loads(p4.read_text())["experiments"]["fig14"]
+        assert serial == parallel
+
+    def test_resume_without_db_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig15", "--resume"])

@@ -45,6 +45,7 @@ class TestMotivation:
         assert row["gpu_speedup"] < 1.02
 
 
+@pytest.mark.slow
 class TestMainResults:
     @pytest.fixture(scope="class")
     def fig9_rows(self):
@@ -91,6 +92,7 @@ class TestOptAblation:
             assert total == pytest.approx(1.0, abs=1e-6)
 
 
+@pytest.mark.slow
 class TestSearchExperiments:
     def test_fig14_curves_returned(self):
         curves = fig14_search_strategies(m=512, k=512, n_trials=24)

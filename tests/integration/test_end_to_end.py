@@ -37,6 +37,7 @@ class TestBuildApi:
         assert o3.profile().latency.kernel < o0.profile().latency.kernel
 
 
+@pytest.mark.slow
 class TestPaperClaims:
     """Direction/shape of the headline results (small-scale settings)."""
 

@@ -25,6 +25,7 @@ def tune_result():
     return tuner, result
 
 
+@pytest.mark.slow
 class TestTunerCaching:
     def test_nonzero_hit_rate_on_repeated_candidates(self, tune_result):
         _, result = tune_result
@@ -93,6 +94,7 @@ class TestTunerCaching:
         assert r2.compile_cache_hits > r2.compile_cache_misses
 
 
+@pytest.mark.slow
 class TestDeterminism:
     def test_same_seed_same_result(self):
         cfg = UpmemConfig().with_(n_ranks=2)
