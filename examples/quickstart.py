@@ -16,7 +16,11 @@ Walks the ATiM flow around the single entry point
    JSON-lines store as the search runs, a second search warm-starts from
    it (replaying measurements instead of re-simulating), and
    ``repro.compile(wl, tuned=True, db=...)`` resolves the stored best
-   without searching again.
+   without searching again;
+5. serve a stream of requests: a ``repro.serve.Server`` batches mixed
+   GPT-J + tensor-op traffic dynamically (grouped by compiled program,
+   flushed on batch size or virtual-clock age — wall time never enters
+   the decision path) and reports simulated throughput and tail latency.
 
 Run:  python examples/quickstart.py
 """
@@ -154,6 +158,44 @@ def persistent_tuning() -> None:
         )
 
 
+def serving() -> None:
+    # 5. Serving: submit 100 mixed requests (GPT-J 6B MHA, an FC-shaped
+    #    MTV, VA/RED background traffic) through the dynamic batcher.
+    #    Requests batch only with requests for the same compiled
+    #    program; a group flushes at max_batch_size or after
+    #    max_wait_ticks virtual-clock ticks, so the run is deterministic
+    #    at any thread count.  Throughput/latency are *simulated*
+    #    numbers from the targets' performance models.
+    from repro.serve import (
+        ExecutablePool,
+        Server,
+        generate_trace,
+        gptj_serving_mix,
+        replay_trace,
+    )
+
+    mix = gptj_serving_mix(tokens=4)
+    trace = generate_trace(
+        100, sorted(mix), pattern="burst", seed=0, burst=16, gap_ticks=8
+    )
+    with Server(
+        ExecutablePool(capacity=8),
+        max_batch_size=16,
+        max_wait_ticks=4,
+        queue_limit=64,
+    ) as server:
+        tickets = replay_trace(server, trace, mix, target="upmem")
+        stats = server.metrics_dict()
+    done = sum(t.done for t in tickets)
+    print(f"served {done}/{len(tickets)} requests "
+          f"({stats['rejected']} rejected) in {stats['flushes']} flushes, "
+          f"mean batch {stats['mean_batch']:.1f}")
+    print(f"throughput {stats['throughput_rps']:.0f} req/s (simulated),  "
+          f"p50 {stats['latency_ms']['p50']:.3f} ms  "
+          f"p99 {stats['latency_ms']['p99']:.3f} ms,  "
+          f"pool hit rate {stats['pool']['hit_rate']:.0%}")
+
+
 def main() -> None:
     compile_workload()
     print()
@@ -162,6 +204,8 @@ def main() -> None:
     compare_targets()
     print()
     persistent_tuning()
+    print()
+    serving()
 
 
 if __name__ == "__main__":

@@ -35,6 +35,7 @@ from .target import (
     register_target,
 )
 from .upmem import DEFAULT_CONFIG, UpmemConfig
+from . import serve
 
 __version__ = "0.3.0"
 
@@ -58,6 +59,7 @@ __all__ = [
     "te",
     "tir",
     "pipeline",
+    "serve",
     "compile",
     "Target",
     "TargetError",

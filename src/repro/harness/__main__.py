@@ -10,6 +10,7 @@ Usage::
     python -m repro.harness fig9 --json results/BENCH_fig9.json
     python -m repro.harness fig15 --db results/tune.jsonl --resume \
         --parallel-measure 4
+    python -m repro.harness fig16 --requests 64 --json BENCH_fig16.json
 
 ``--json`` writes the raw figure rows plus compile-cache and
 tuning-database statistics as machine-readable JSON
@@ -110,6 +111,11 @@ def run_experiment(name: str, args: argparse.Namespace):
         hits = int(data["measure_cache_hits"][0])
         misses = int(data["measure_cache_misses"][0])
         print(f"measurements: {hits} warm (from --db) / {misses} cold")
+    elif name == "fig16":
+        data = experiments.fig16_serving(
+            n_requests=args.requests, seed=args.seed
+        )
+        _print_rows(data["rows"], "Fig 16 (serving: dynamic batching)")
     else:
         raise SystemExit(f"unknown experiment {name!r}")
     return data
@@ -117,7 +123,7 @@ def run_experiment(name: str, args: argparse.Namespace):
 
 EXPERIMENTS = (
     "fig3a", "fig3b", "fig3c", "fig4", "fig9", "tab3", "fig10",
-    "fig11", "fig12", "fig13", "fig14", "fig15",
+    "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
 )
 
 
@@ -163,6 +169,7 @@ def write_json(path: str, results, args: argparse.Namespace) -> None:
             "db": args.db,
             "resume": args.resume,
             "parallel_measure": args.parallel_measure,
+            "requests": args.requests,
         },
     }
     with open(path, "w") as fh:
@@ -181,6 +188,10 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--workloads", nargs="*", default=None)
     parser.add_argument("--sizes", nargs="*", default=None)
+    parser.add_argument(
+        "--requests", type=int, default=32, metavar="N",
+        help="traffic-trace length for the serving experiment (fig16)",
+    )
     parser.add_argument(
         "--cache-stats", action="store_true",
         help="print compile-cache hit/miss counters after the run",

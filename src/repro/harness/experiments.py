@@ -49,6 +49,7 @@ __all__ = [
     "fig13_breakdown",
     "fig14_search_strategies",
     "fig15_tuning_overhead",
+    "fig16_serving",
 ]
 
 
@@ -644,3 +645,83 @@ def fig15_tuning_overhead(
         "measure_cache_hits": [float(result.measure_cache_hits)],
         "measure_cache_misses": [float(result.measure_cache_misses)],
     }
+
+
+# ---------------------------------------------------------------------------
+# Fig. 16 — serving throughput/tail-latency under dynamic batching
+# ---------------------------------------------------------------------------
+
+
+def fig16_serving(
+    n_requests: int = 32,
+    batch_sizes: Sequence[int] = (1, 4, 16),
+    targets: Sequence[str] = ("upmem", "cpu"),
+    pattern: str = "burst",
+    seed: int = 0,
+    tokens: int = 16,
+    max_wait_ticks: int = 4,
+    queue_limit: Optional[int] = None,
+    pool_capacity: int = 8,
+    execute: bool = True,
+) -> Dict:
+    """Serve one seeded GPT-J + tensor-op traffic trace at several
+    dynamic-batching limits, per target.
+
+    Every (target, max_batch) cell replays the *same* trace — generated
+    once from ``seed`` — through a fresh :class:`repro.serve.Server`, so
+    throughput (completed requests per simulated second) and tail
+    latency differences come purely from the batching policy and the
+    target's execution model.  Returns ``{"rows": [...], "metrics":
+    {label: full metrics dict}}``; the metrics dicts (p50/p95/p99, pool
+    hit rate, rejected counts, batch histogram) land verbatim in the
+    harness's ``--json`` dump.
+    """
+    from ..serve import (
+        ExecutablePool,
+        Server,
+        generate_trace,
+        gptj_serving_mix,
+        replay_trace,
+    )
+
+    mix = gptj_serving_mix(tokens=tokens)
+    trace = generate_trace(
+        n_requests,
+        sorted(mix),
+        pattern=pattern,
+        seed=seed,
+        burst=16,
+        gap_ticks=8,
+    )
+    rows: List[Dict] = []
+    metrics: Dict[str, Dict] = {}
+    for target in targets:
+        for max_batch in batch_sizes:
+            with Server(
+                ExecutablePool(capacity=pool_capacity),
+                max_batch_size=max_batch,
+                max_wait_ticks=max_wait_ticks,
+                queue_limit=queue_limit,
+                execute=execute,
+            ) as server:
+                replay_trace(server, trace, mix, target=target)
+                snapshot = server.metrics_dict()
+            metrics[f"{target}_b{max_batch}"] = snapshot
+            rows.append(
+                {
+                    "target": target,
+                    "max_batch": max_batch,
+                    "requests": snapshot["submitted"],
+                    "completed": snapshot["completed"],
+                    "rejected": snapshot["rejected"],
+                    "flushes": snapshot["flushes"],
+                    "mean_batch": snapshot["mean_batch"],
+                    "throughput_rps": snapshot["throughput_rps"],
+                    "mean_ms": snapshot["latency_ms"]["mean"],
+                    "p50_ms": snapshot["latency_ms"]["p50"],
+                    "p95_ms": snapshot["latency_ms"]["p95"],
+                    "p99_ms": snapshot["latency_ms"]["p99"],
+                    "pool_hit_rate": snapshot["pool"]["hit_rate"],
+                }
+            )
+    return {"rows": rows, "metrics": metrics, "n_requests": n_requests}

@@ -1,0 +1,190 @@
+"""Executable residency pool: lazy compilation with LRU eviction.
+
+A serving process cannot afford to recompile per request, nor to keep
+every program it has ever seen resident (real PIM deployments are bound
+by MRAM capacity for staged weights; here residency also carries the
+compiled module).  The pool compiles lazily per (workload, target,
+params) key, reuses the process-wide artifact cache underneath (so an
+evicted-then-reloaded program re-wraps the cached lowered module instead
+of re-lowering), warm-starts schedule parameters from a persistent
+tuning database when ``tuned=True``, and evicts least-recently-used
+entries beyond ``capacity``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict, Iterable, Optional, Tuple
+
+from ..pipeline import workload_signature
+from ..target import Executable, Target, get_target
+
+__all__ = ["ExecutablePool"]
+
+
+def _target_identity(target: Any) -> Tuple:
+    """(kind, config repr, cache token): the compile-relevant identity.
+
+    Mirrors what the artifact cache keys on — kind alone would alias
+    differently-configured instances of one backend, silently batching
+    requests onto (and timing them against) the wrong machine.  A kind
+    string resolves through the registry *per call* (construction is
+    cheap), so it shares identity with an explicitly constructed
+    default target and tracks ``register_target(..., overwrite=True)``
+    re-registrations instead of serving a stale cached identity.
+    """
+    if not isinstance(target, Target):
+        target = get_target(str(target))
+    return (
+        target.kind,
+        repr(getattr(target, "config", None)),
+        target.cache_token(),
+    )
+
+
+class ExecutablePool:
+    """LRU cache of compiled :class:`~repro.target.Executable` objects."""
+
+    def __init__(
+        self,
+        capacity: int = 8,
+        opt_level: str = "O3",
+        tuned: bool = False,
+        db: Optional[Any] = None,
+        tune_trials: int = 64,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.opt_level = opt_level
+        #: With ``tuned=True`` (and typically a ``db`` pointing at a
+        #: persistent :class:`~repro.autotune.TuningCache`), compiles
+        #: resolve autotuned parameters — a stored completed search is
+        #: a single file scan, so serving warm-starts from prior tuning
+        #: runs without searching inline.
+        self.tuned = tuned
+        self.db = db
+        self.tune_trials = tune_trials
+        self._entries: "OrderedDict[Tuple, Executable]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # -- keying -------------------------------------------------------------
+    @staticmethod
+    def key_for(
+        workload: Any, target: Any, params: Optional[Dict[str, int]] = None
+    ) -> Tuple:
+        """Batching/residency identity of one compiled program.
+
+        Structural workload signature (not object identity) + target
+        identity (kind, configuration, cache token) + explicit params:
+        two separately constructed but equal workloads share an
+        executable; differently parameterized or differently configured
+        requests never do.  The signature walks the workload's compute
+        expression, so it is memoized on the instance — a traffic
+        stream re-submitting the same workload object derives it once.
+        The memo revalidates against ``workload.params`` (the one field
+        the codebase mutates in place, e.g. the GPT-J factories tagging
+        model/layer), so a post-construction params update never serves
+        a stale key; tensors and compute expressions are treated as
+        immutable, as everywhere else in the repository.
+        """
+        fingerprint = tuple(
+            sorted((getattr(workload, "params", None) or {}).items())
+        )
+        memo = getattr(workload, "_structural_signature", None)
+        if memo is None or memo[0] != fingerprint:
+            memo = (fingerprint, workload_signature(workload))
+            try:
+                workload._structural_signature = memo
+            except (AttributeError, TypeError):  # frozen/slotted objects
+                pass
+        return (
+            memo[1],
+            _target_identity(target),
+            tuple(sorted((params or {}).items())),
+        )
+
+    # -- lookup -------------------------------------------------------------
+    def get(
+        self,
+        workload: Any,
+        target: Any = "upmem",
+        params: Optional[Dict[str, int]] = None,
+        key: Optional[Tuple] = None,
+    ) -> Tuple[Executable, bool]:
+        """Resident executable for the key, compiling on miss.
+
+        Returns ``(executable, loaded)`` where ``loaded`` says this call
+        compiled/staged the program (a pool miss) — the server charges
+        the one-time weight-staging transfer to loading flushes only.
+        ``key`` accepts a precomputed :meth:`key_for` result so hot
+        paths that already hold one (the server computes it at submit)
+        skip re-deriving the structural workload signature.
+        """
+        if key is None:
+            key = self.key_for(workload, target, params)
+        exe = self._entries.get(key)
+        if exe is not None:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return exe, False
+        self.misses += 1
+        exe = self._compile(workload, target, params)
+        self._entries[key] = exe
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        return exe, True
+
+    def _compile(
+        self, workload: Any, target: Any, params: Optional[Dict[str, int]]
+    ) -> Executable:
+        from ..target.compile import compile as _compile
+
+        return _compile(
+            workload,
+            target=get_target(target),
+            opt_level=self.opt_level,
+            params=params,
+            tuned=self.tuned and params is None,
+            db=self.db,
+            tune_trials=self.tune_trials,
+        )
+
+    def prewarm(
+        self, specs: Iterable[Tuple[Any, Any, Optional[Dict[str, int]]]]
+    ) -> int:
+        """Compile (workload, target, params) triples ahead of traffic.
+
+        Routes through :meth:`get`, so prewarmed programs are resident
+        (up to ``capacity``) and their lowered modules land in the
+        process-wide artifact cache — steady-state flushes then never
+        stall on compilation even after an eviction.  Returns the number
+        of programs this call actually compiled.
+        """
+        loaded = 0
+        for workload, target, params in specs:
+            _, was_loaded = self.get(workload, target, params)
+            loaded += int(was_loaded)
+        return loaded
+
+    # -- introspection ------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "capacity": self.capacity,
+            "resident": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }

@@ -1,0 +1,439 @@
+"""The serving front end: admission, batching, dispatch, accounting.
+
+:class:`Server` is a discrete-event model of one PIM inference server
+driven by a deterministic virtual clock:
+
+* **time** — ``tick()`` advances the arrival clock in fixed
+  ``tick_seconds`` steps; batching decisions consume only tick counts
+  (never wall time), execution durations come from the targets'
+  simulated/analytic performance models.  The same traffic trace
+  therefore produces bit-identical batches, responses and metrics on
+  any machine and at any host thread count.
+* **admission** — a bounded pending queue; requests beyond
+  ``queue_limit`` are rejected at submit time and counted per workload.
+* **batching** — pending requests group by compiled-program identity
+  and flush on max-batch-size or max-wait (see
+  :class:`~repro.serve.scheduler.DynamicBatcher`).
+* **dispatch** — a flush compiles-or-reuses its executable through the
+  :class:`~repro.serve.pool.ExecutablePool` and runs the whole batch
+  via ``Executable.run_batch`` on one persistent
+  :class:`~repro.target.Executor` thread pool, so outputs are
+  bit-for-bit what individual ``run()`` calls would produce.
+* **failure isolation** — a flush that raises (bad input names, a
+  target that cannot execute, an invalid compile) fails only its own
+  group: those tickets turn ``failed`` with the error recorded, no
+  time is charged to the simulated device, and serving continues.
+* **device model** — flushes execute serially on the simulated device:
+  a flush starts at ``max(now, busy_until)`` and occupies it for a
+  modeled duration in which dispatch+launch overhead is paid once per
+  flush, kernels run concurrently across idle DPU-group replicas of
+  the program, per-request transfers serialize on the host<->PIM bus,
+  and constant/weight transfer is charged only when the pool (re)loads
+  the program — the paper's "constant tensors transferred once" §5.4.
+
+After a flush the server drops its reference to each request's input
+arrays, so serving long traces holds only pending inputs plus outputs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..target import Executor
+from .metrics import ServerMetrics
+from .pool import ExecutablePool
+from .request import Request, Response, Ticket
+from .scheduler import DynamicBatcher, PendingRequest
+
+__all__ = ["Server", "SyncClient", "ServeError"]
+
+
+class ServeError(RuntimeError):
+    """A request could not be served (rejected or unservable)."""
+
+
+def _workload_name(request: Request) -> str:
+    """The metrics-bucket name of a request's workload — one rule shared
+    by rejection, completion and failure accounting."""
+    return getattr(request.workload, "name", str(request.workload))
+
+
+class Server:
+    """Async-style inference server over compiled PIM executables."""
+
+    def __init__(
+        self,
+        pool: Optional[ExecutablePool] = None,
+        max_batch_size: int = 16,
+        max_wait_ticks: int = 4,
+        queue_limit: Optional[int] = 64,
+        tick_seconds: float = 1e-4,
+        dispatch_overhead_s: float = 1e-4,
+        max_workers: Optional[int] = None,
+        execute: bool = True,
+    ) -> None:
+        if queue_limit is not None and queue_limit < 1:
+            raise ValueError(f"queue_limit must be >= 1, got {queue_limit}")
+        if tick_seconds <= 0:
+            raise ValueError(f"tick_seconds must be > 0, got {tick_seconds}")
+        # `pool or ...` would discard a caller's *empty* pool (len 0 is
+        # falsy), silently serving from a default one.
+        self.pool = pool if pool is not None else ExecutablePool()
+        self.batcher = DynamicBatcher(max_batch_size, max_wait_ticks)
+        self.metrics = ServerMetrics()
+        self.queue_limit = queue_limit
+        self.tick_seconds = tick_seconds
+        #: Per-flush host-side cost (request handling, command assembly,
+        #: rank broadcast setup) — the overhead dynamic batching exists
+        #: to amortize; see :meth:`_batch_duration` for the full model.
+        self.dispatch_overhead_s = dispatch_overhead_s
+        #: ``execute=False`` skips functional execution (responses carry
+        #: ``outputs=None``) while keeping the full timing model — for
+        #: latency-only targets and pure scheduling studies.
+        self.execute = execute
+        self._executor = Executor(max_workers, persistent=True)
+        self._tick = 0
+        self._now = 0.0  # arrival clock: _tick * tick_seconds
+        self._busy_until = 0.0  # simulated device availability
+        self._seq = 0
+        #: Batch-key -> derived unit costs.  Keyed by program identity
+        #: (not ``id(exe)``): an evicted-and-recompiled program must
+        #: never collide with a recycled object address, and identical
+        #: keys derive identical costs by construction.
+        self._duration_cache: Dict[Tuple, Tuple[float, float, float, float]] = {}
+        #: Keys whose constant-input (weight) staging transfer has been
+        #: incurred by a pool load but not yet charged to a *successful*
+        #: flush.  A loading flush that fails leaves the program
+        #: resident with its staging bill outstanding; the next
+        #: successful flush pays it (otherwise the charge would be lost
+        #: and later latencies understated).
+        self._unpaid_staging: set = set()
+        self._closed = False
+
+    # -- clocks -------------------------------------------------------------
+    @property
+    def current_tick(self) -> int:
+        return self._tick
+
+    @property
+    def now(self) -> float:
+        """Arrival-clock timestamp in simulated seconds."""
+        return self._now
+
+    @property
+    def elapsed(self) -> float:
+        """Simulated seconds the trace has spanned so far (arrival clock
+        or device busy time, whichever is further along)."""
+        return max(self._now, self._busy_until)
+
+    def tick(self, n: int = 1) -> List[Response]:
+        """Advance the virtual clock ``n`` ticks, flushing aged groups.
+
+        Returns the responses completed by those flushes.
+        """
+        self._check_open()
+        responses: List[Response] = []
+        for _ in range(n):
+            self._tick += 1
+            self._now = self._tick * self.tick_seconds
+            for key in self.batcher.due(self._tick):
+                responses.extend(self._flush(key))
+        return responses
+
+    # -- submission ---------------------------------------------------------
+    def submit(self, request: Request) -> Ticket:
+        """Admit one request; may trigger an immediate size-based flush.
+
+        Returns a :class:`Ticket`: ``rejected`` when the pending queue
+        is full, otherwise ``queued`` (and ``done`` with a response as
+        soon as its group flushes).
+        """
+        self._check_open()
+        name = _workload_name(request)
+        if self.execute and request.inputs is None:
+            # Catch input-less requests at admission — most commonly a
+            # Request object resubmitted after being served (the server
+            # nulls inputs on completion).  Failing here keeps the
+            # mistake from blast-failing whatever group it would join.
+            self.metrics.record_reject(name)
+            return Ticket(
+                request,
+                status="rejected",
+                reject_reason=(
+                    "request has no inputs (already served once?);"
+                    " executing servers need an inputs dict"
+                ),
+            )
+        if (
+            self.queue_limit is not None
+            and self.batcher.pending >= self.queue_limit
+        ):
+            self.metrics.record_reject(name)
+            return Ticket(
+                request,
+                status="rejected",
+                reject_reason=(
+                    f"pending queue full ({self.queue_limit} requests)"
+                ),
+            )
+        try:
+            key = self.pool.key_for(
+                request.workload, request.target, request.params
+            )
+        except Exception as exc:
+            # An unresolvable target (unknown kind, ...) is unservable:
+            # reject at admission rather than failing a whole group.
+            self.metrics.record_reject(name)
+            return Ticket(
+                request,
+                status="rejected",
+                reject_reason=f"{type(exc).__name__}: {exc}",
+            )
+        request.request_id = self._seq
+        ticket = Ticket(request, batch_key=key)
+        entry = PendingRequest(self._seq, ticket, self._tick, self._now)
+        self._seq += 1
+        self.metrics.record_submit(name)
+        if self.batcher.add(key, entry):
+            self._flush(key)
+        return ticket
+
+    def submit_many(self, requests: Sequence[Request]) -> List[Ticket]:
+        """Submit in order; one ticket per request."""
+        return [self.submit(request) for request in requests]
+
+    def drain(self) -> List[Response]:
+        """Flush every pending group (oldest first) and return the
+        responses those flushes produced.  An empty queue returns ``[]``
+        without compiling anything or touching the thread pool."""
+        self._check_open()
+        responses: List[Response] = []
+        for key in self.batcher.drain_keys():
+            responses.extend(self._flush(key))
+        return responses
+
+    def flush_ticket(self, ticket: Ticket) -> Optional[Response]:
+        """Force the group containing ``ticket``'s request to flush now
+        (the synchronous-client path).  Returns its response."""
+        self._check_open()
+        if ticket.status == "queued" and ticket.batch_key is not None:
+            # The admission-time key, not a recomputation: if the
+            # workload mutated since submit, a fresh key would miss the
+            # group the request is actually queued under.
+            self._flush(ticket.batch_key)
+        return ticket.response
+
+    # -- lifecycle ----------------------------------------------------------
+    def close(self) -> None:
+        """Shut down the persistent dispatch pool (pending requests stay
+        queued; ``drain()`` before closing to complete them)."""
+        self._executor.close()
+        self._closed = True
+
+    def __enter__(self) -> "Server":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ServeError("server is closed")
+
+    # -- dispatch -----------------------------------------------------------
+    def _flush(self, key: Tuple) -> List[Response]:
+        group = self.batcher.take(key)
+        if not group:
+            return []
+        first = group[0].ticket.request
+        try:
+            exe, loaded = self.pool.get(
+                first.workload, first.target, first.params, key=key
+            )
+            if loaded:
+                self._unpaid_staging.add(key)
+            duration = self._batch_duration(
+                exe, len(group), key in self._unpaid_staging, key
+            )
+            if self.execute:
+                outputs = exe.run_batch(
+                    [entry.ticket.request.inputs or {} for entry in group],
+                    executor=self._executor,
+                )
+            else:
+                outputs = [None] * len(group)
+        except Exception as exc:
+            # Isolate the failure to this group: its tickets fail
+            # visibly (bad input names, a target that cannot execute,
+            # an invalid compile), nothing is charged to the simulated
+            # device, and every other pending/ future request is
+            # unaffected.
+            self._fail_group(group, exc)
+            return []
+        self._unpaid_staging.discard(key)  # staging charge now paid
+        start = max(self._now, self._busy_until)
+        finish = start + duration
+        self._busy_until = finish
+        self.metrics.record_flush(len(group))
+        responses: List[Response] = []
+        for entry, outs in zip(group, outputs):
+            request = entry.ticket.request
+            response = Response(
+                request_id=request.request_id,
+                workload=_workload_name(request),
+                outputs=outs,
+                latency_s=finish - entry.arrival_s,
+                queue_s=start - entry.arrival_s,
+                execute_s=duration,
+                batch_size=len(group),
+                arrival_tick=entry.arrival_tick,
+                finish_s=finish,
+            )
+            entry.ticket.response = response
+            entry.ticket.status = "done"
+            request.inputs = None  # release input arrays once served
+            self.metrics.record_completion(
+                response.workload, response.latency_s, response.queue_s
+            )
+            responses.append(response)
+        return responses
+
+    def _fail_group(self, group: Sequence[Any], exc: Exception) -> None:
+        reason = f"{type(exc).__name__}: {exc}"
+        for entry in group:
+            ticket = entry.ticket
+            ticket.status = "failed"
+            ticket.error = reason
+            # Unlike served requests, failed ones keep their inputs: an
+            # innocent request caught in a poisoned group must stay
+            # resubmittable as-is.
+            self.metrics.record_failure(_workload_name(ticket.request))
+
+    # -- timing model -------------------------------------------------------
+    def _batch_duration(
+        self, exe: Any, batch_size: int, staging_due: bool, key: Tuple
+    ) -> float:
+        """Simulated device occupancy of one flush.
+
+        The batch executes the way ``run_batch`` actually runs it on the
+        simulated machine — replicated across idle DPU groups — so the
+        model splits one request's latency into:
+
+        * **per flush**: server dispatch overhead + the target's kernel
+          launch, paid once however many requests ride along;
+        * **parallel**: kernel time, paid per *round* — the machine fits
+          ``total_dpus // program_dpus`` concurrent program replicas, so
+          a batch no larger than that runs its kernels simultaneously;
+        * **serialized**: dynamic input H2D + D2H + host reduction, paid
+          per request — every replica shares one host<->PIM bus;
+        * **on load**: the constant-input (weight) share of H2D
+          (``staging_due``), charged on the first successful flush after
+          the pool (re)staged the program — the paper's "constant
+          tensors transferred once" (§5.4).
+
+        Targets without a DPU grid (rooflines, estimators) get one
+        group, degrading gracefully to launch amortization only.
+        """
+        launch, kernel, serial, const_h2d = self._unit_costs(exe, key)
+        groups = self._replica_groups(exe)
+        rounds = -(-batch_size // groups)  # ceil division
+        duration = (
+            self.dispatch_overhead_s
+            + launch
+            + rounds * kernel
+            + batch_size * serial
+        )
+        if staging_due:
+            duration += const_h2d
+        return duration
+
+    def _unit_costs(
+        self, exe: Any, key: Tuple
+    ) -> Tuple[float, float, float, float]:
+        """(launch, parallel kernel, serialized per-request, const H2D)."""
+        cached = self._duration_cache.get(key)
+        if cached is not None:
+            return cached
+        try:
+            latency = getattr(exe.profile(), "latency", None)
+        except Exception:
+            latency = None
+        if latency is not None and hasattr(latency, "total"):
+            total = latency.total
+            launch = getattr(latency, "launch", 0.0)
+            h2d = getattr(latency, "h2d", 0.0)
+            kernel = getattr(latency, "kernel", 0.0)
+        else:  # latency-only targets (e.g. estimators)
+            total, launch, h2d, kernel = exe.latency, 0.0, 0.0, 0.0
+        const_h2d = h2d * self._const_input_fraction(exe.workload)
+        serial = max(total - launch - kernel - const_h2d, 0.0)
+        costs = (launch, kernel, serial, const_h2d)
+        self._duration_cache[key] = costs
+        return costs
+
+    @staticmethod
+    def _replica_groups(exe: Any) -> int:
+        """How many copies of the program the machine runs concurrently."""
+        program_dpus = getattr(getattr(exe, "lowered", None), "n_dpus", 0)
+        total_dpus = getattr(
+            getattr(getattr(exe, "target", None), "config", None), "n_dpus", 0
+        )
+        if program_dpus and total_dpus:
+            return max(1, total_dpus // program_dpus)
+        return 1
+
+    @staticmethod
+    def _const_input_fraction(workload: Any) -> float:
+        """Byte share of inputs that stay resident (weights, KV cache)."""
+        const_names = getattr(workload, "const_inputs", None)
+        inputs = getattr(workload, "inputs", None)
+        if not const_names or not inputs:
+            return 0.0
+        total = sum(t.buffer.nbytes for t in inputs)
+        if not total:
+            return 0.0
+        const = sum(
+            t.buffer.nbytes for t in inputs if t.name in const_names
+        )
+        return const / total
+
+    # -- reporting ----------------------------------------------------------
+    def metrics_dict(self) -> Dict:
+        """Metrics + pool stats snapshot (the ``--json`` payload)."""
+        return self.metrics.to_dict(
+            elapsed_s=self.elapsed, pool_stats=self.pool.stats()
+        )
+
+
+class SyncClient:
+    """Blocking in-process client: submit one request, flush, return.
+
+    Batching still applies — a sync call rides with (and completes) any
+    compatible requests already pending for the same program.
+    """
+
+    def __init__(self, server: Server) -> None:
+        self.server = server
+
+    def infer(
+        self,
+        workload: Any,
+        inputs: Optional[Dict[str, np.ndarray]] = None,
+        target: Any = "upmem",
+        params: Optional[Dict[str, int]] = None,
+        **named: np.ndarray,
+    ) -> Response:
+        data = dict(inputs or {})
+        data.update(named)
+        ticket = self.server.submit(
+            Request(workload=workload, inputs=data, target=target, params=params)
+        )
+        if ticket.rejected:
+            raise ServeError(f"request rejected: {ticket.reject_reason}")
+        response = self.server.flush_ticket(ticket)
+        if ticket.failed:
+            raise ServeError(f"request failed: {ticket.error}")
+        assert response is not None  # flush_ticket completes queued tickets
+        return response

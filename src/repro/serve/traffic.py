@@ -1,0 +1,196 @@
+"""Seeded synthetic traffic for serving experiments.
+
+A *trace* is a list of :class:`TraceEvent` — (arrival tick, workload
+name, per-request input seed) — generated once from an rng seed and then
+replayable against any server configuration: every decision the server
+makes depends only on the trace and its own deterministic knobs, so two
+replays (or two batch-size settings over the same trace) are directly
+comparable.
+
+The default mix mirrors the paper's serving story: the GPT-J 6B MHA
+MMTV at decode-time token counts, an FC-shaped MTV (scaled down so the
+functional simulator executes promptly) and element-wise/reduction
+tensor ops riding along.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..workloads import GPTJ_6B, Workload, mha_mmtv, mtv, red, va
+from .request import Request, Ticket
+from .server import Server
+
+__all__ = [
+    "TraceEvent",
+    "MixEntry",
+    "gptj_serving_mix",
+    "generate_trace",
+    "replay_trace",
+]
+
+#: Arrival patterns understood by :func:`generate_trace`.
+PATTERNS = ("burst", "uniform", "poisson")
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One request arrival: when, which program, which inputs."""
+
+    tick: int
+    workload: str  # key into the trace's workload mix
+    input_seed: int
+
+
+@dataclass(frozen=True)
+class MixEntry:
+    """One mix member: the workload plus the schedule params requests
+    are served with (``None`` lets the pool pick — canonical defaults,
+    or database-tuned params for a ``tuned=True`` pool)."""
+
+    workload: Workload
+    params: Optional[Dict[str, int]] = None
+
+
+def gptj_serving_mix(tokens: int = 16) -> Dict[str, MixEntry]:
+    """Name -> :class:`MixEntry` mix for the serving benchmark.
+
+    ``mha_mmtv`` is the genuine GPT-J 6B attention shape at ``tokens``
+    decode positions; ``fc_mtv`` keeps the FC layer's matrix-vector
+    structure at reduced size (the full 16384x4096 FC is minutes of
+    functional simulation per request); ``va``/``red`` are the paper's
+    element-wise and reduction tensor ops as background traffic.
+
+    Each entry pins small-grid schedule params: a server executes every
+    request functionally, and the canonical max-parallelism defaults
+    (2048 DPUs) cost seconds of *simulator host time* per run without
+    changing the simulated-latency story this benchmark measures.
+    Small grids also leave idle DPU groups for a flush to replicate
+    across — exactly the regime a PIM server batches for.
+    """
+    fc = mtv(128, 256)
+    fc.params.update({"model": GPTJ_6B.name, "layer": "fc_scaled"})
+    return {
+        "mha_mmtv": MixEntry(
+            mha_mmtv(GPTJ_6B, batch=1, tokens=tokens),
+            {
+                "i_dpus": 8,
+                "j_dpus": 2,
+                "k_dpus": 1,
+                "n_tasklets": 4,
+                "cache": 256,
+                "host_threads": 4,
+                "unroll": 0,
+            },
+        ),
+        "fc_mtv": MixEntry(
+            fc,
+            {
+                "m_dpus": 8,
+                "k_dpus": 1,
+                "n_tasklets": 4,
+                "cache": 128,
+                "host_threads": 2,
+                "unroll": 0,
+            },
+        ),
+        "va": MixEntry(
+            va(32768),
+            {"n_dpus": 8, "n_tasklets": 4, "cache": 128, "unroll": 0},
+        ),
+        "red": MixEntry(
+            red(32768),
+            {
+                "n_dpus": 8,
+                "n_tasklets": 4,
+                "cache": 128,
+                "dpu_combine": 0,
+                "host_threads": 2,
+                "unroll": 0,
+            },
+        ),
+    }
+
+
+def generate_trace(
+    n_requests: int,
+    workloads: Sequence[str],
+    pattern: str = "burst",
+    seed: int = 0,
+    burst: int = 8,
+    gap_ticks: int = 4,
+) -> List[TraceEvent]:
+    """Deterministic arrival trace over a named workload mix.
+
+    Patterns (all on the virtual tick grid):
+
+    * ``burst`` — ``burst`` requests land together every ``gap_ticks``
+      (the bursty decode traffic a batcher exists for);
+    * ``uniform`` — one request per tick;
+    * ``poisson`` — Poisson-distributed inter-arrival ticks with mean
+      ``gap_ticks / burst`` (open-loop random load).
+
+    Workloads are drawn independently per event from ``workloads`` with
+    equal probability; ``input_seed`` is unique per event so every
+    request carries distinct input tensors.
+    """
+    if pattern not in PATTERNS:
+        raise ValueError(f"pattern must be one of {PATTERNS}, got {pattern!r}")
+    if not workloads:
+        raise ValueError("workloads must name at least one mix entry")
+    rng = np.random.default_rng(seed)
+    names = list(workloads)
+    events: List[TraceEvent] = []
+    tick = 0
+    for i in range(n_requests):
+        if pattern == "burst":
+            tick = (i // max(1, burst)) * gap_ticks
+        elif pattern == "uniform":
+            tick = i
+        else:  # poisson
+            tick += int(rng.poisson(gap_ticks / max(1, burst)))
+        name = names[int(rng.integers(len(names)))]
+        events.append(
+            TraceEvent(tick=tick, workload=name, input_seed=seed * 100003 + i)
+        )
+    return events
+
+
+def replay_trace(
+    server: Server,
+    trace: Sequence[TraceEvent],
+    mix: Dict[str, MixEntry],
+    target: str = "upmem",
+    with_inputs: bool = True,
+) -> List[Ticket]:
+    """Drive a server through a trace: tick to each arrival, submit,
+    drain at the end.  Returns every ticket in submission order.
+
+    ``with_inputs=False`` submits input-less requests — pair it with a
+    ``Server(execute=False)`` timing-only study.
+    """
+    tickets: List[Ticket] = []
+    for event in trace:
+        if event.tick > server.current_tick:
+            server.tick(event.tick - server.current_tick)
+        entry = mix[event.workload]
+        inputs = (
+            entry.workload.random_inputs(seed=event.input_seed)
+            if with_inputs
+            else None
+        )
+        tickets.append(
+            server.submit(
+                Request(
+                    workload=entry.workload,
+                    inputs=inputs,
+                    target=target,
+                    params=entry.params,
+                )
+            )
+        )
+    server.drain()
+    return tickets

@@ -64,14 +64,21 @@ class Executable:
         self,
         batch: Sequence[Dict[str, np.ndarray]],
         max_workers: Optional[int] = None,
+        executor: Optional[Executor] = None,
     ) -> List[List[np.ndarray]]:
         """Execute independent input dicts; results in input order.
 
         The default shards whole batch items across the thread pool
         (embarrassingly parallel — right for roofline targets whose
-        ``run`` is one numpy expression).
+        ``run`` is one numpy expression).  ``executor`` supplies a
+        caller-owned (typically persistent) :class:`Executor` so a
+        serving loop reuses one pool across flushes; an empty batch
+        returns ``[]`` without touching any pool.
         """
-        return Executor(max_workers).map(self.run, batch)
+        batch = list(batch)
+        if not batch:
+            return []
+        return (executor or Executor(max_workers)).map(self.run, batch)
 
     # -- performance --------------------------------------------------------
     def profile(self) -> Any:
@@ -129,17 +136,24 @@ class UpmemExecutable(Executable):
     def run(self, inputs=None, **named) -> List[np.ndarray]:
         return self._mod.run(self._named_inputs(inputs, named))
 
-    def run_batch(self, batch, max_workers=None) -> List[List[np.ndarray]]:
+    def run_batch(
+        self, batch, max_workers=None, executor=None
+    ) -> List[List[np.ndarray]]:
         """Shard the batch per DPU group across the thread pool.
 
         Each batch item's DPU grid is cut into contiguous chunks and all
         (item, chunk) jobs share one pool, so even a single-item batch
         parallelizes across its DPUs.  DPUs write disjoint tile regions,
         making the result bit-for-bit identical to sequential ``run``
-        calls regardless of interleaving.
+        calls regardless of interleaving.  ``executor`` reuses a
+        caller-owned pool (see :class:`Executor`'s persistent mode); an
+        empty batch returns ``[]`` without preparing any state.
         """
+        batch = list(batch)
+        if not batch:
+            return []
         fexec = self._mod.executor
-        executor = Executor(max_workers)
+        executor = executor or Executor(max_workers)
         states = [
             fexec.prepare(self._named_inputs(inputs, {})) for inputs in batch
         ]

@@ -18,7 +18,25 @@ __all__ = ["Executor", "default_workers"]
 
 
 def default_workers() -> int:
-    """Pool width when the caller does not choose one."""
+    """Pool width when the caller does not choose one.
+
+    Defaults to ``min(8, cpu_count)``; the ``REPRO_MAX_WORKERS``
+    environment variable overrides the cap entirely (any integer >= 1),
+    for machines where 8 threads under- or over-subscribe the simulator.
+    """
+    env = os.environ.get("REPRO_MAX_WORKERS")
+    if env is not None:
+        try:
+            value = int(env)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_MAX_WORKERS must be an integer >= 1, got {env!r}"
+            ) from None
+        if value < 1:
+            raise ValueError(
+                f"REPRO_MAX_WORKERS must be an integer >= 1, got {env!r}"
+            )
+        return value
     return max(1, min(8, os.cpu_count() or 1))
 
 
@@ -31,16 +49,42 @@ class Executor:
     otherwise be re-pickled per worker.
     """
 
-    def __init__(self, max_workers: Optional[int] = None) -> None:
+    def __init__(
+        self, max_workers: Optional[int] = None, persistent: bool = False
+    ) -> None:
         self.max_workers = max_workers or default_workers()
+        #: With ``persistent=True`` the thread pool is created lazily on
+        #: first use and reused across ``map`` calls — the serving hot
+        #: path flushes many small batches and must not pay pool
+        #: construction per flush.  Close with :meth:`close` or use the
+        #: executor as a context manager.  The default (one-shot) mode
+        #: builds and tears down a pool per call, exactly as before.
+        self.persistent = persistent
+        self._pool: Optional[ThreadPoolExecutor] = None
 
     def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> List[Any]:
         """Apply ``fn`` to every item; results in input order."""
         items = list(items)
         if self.max_workers <= 1 or len(items) <= 1:
             return [fn(item) for item in items]
+        if self.persistent:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(max_workers=self.max_workers)
+            return list(self._pool.map(fn, items))
         with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
             return list(pool.map(fn, items))
+
+    def close(self) -> None:
+        """Shut down the persistent pool (no-op when none was created)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     @staticmethod
     def chunk(items: Sequence[Any], n_chunks: int) -> List[List[Any]]:

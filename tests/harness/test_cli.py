@@ -10,7 +10,7 @@ from repro.harness.__main__ import EXPERIMENTS, main
 def test_experiment_list_covers_all_figures():
     assert set(EXPERIMENTS) == {
         "fig3a", "fig3b", "fig3c", "fig4", "fig9", "tab3", "fig10",
-        "fig11", "fig12", "fig13", "fig14", "fig15",
+        "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
     }
 
 
@@ -69,6 +69,24 @@ class TestJsonDump:
         assert row["workload"] == "red"
         assert isinstance(row["atim_ms"], float)
         assert isinstance(row["atim_params"], dict)
+
+    @pytest.mark.slow
+    def test_fig16_serving_metrics_in_json(self, tmp_path, capsys):
+        """Acceptance: the serving metrics dict (p50/p95/p99, pool hit
+        rate, rejected count) lands in the --json dump."""
+        path = tmp_path / "BENCH_fig16.json"
+        assert main(["fig16", "--requests", "8", "--json", str(path)]) == 0
+        assert "Fig 16" in capsys.readouterr().out
+        payload = json.loads(path.read_text())
+        data = payload["experiments"]["fig16"]
+        rows = data["rows"]
+        assert {row["target"] for row in rows} == {"upmem", "cpu"}
+        assert {row["max_batch"] for row in rows} == {1, 4, 16}
+        snapshot = data["metrics"]["upmem_b16"]
+        assert {"p50", "p95", "p99"} <= set(snapshot["latency_ms"])
+        assert "hit_rate" in snapshot["pool"]
+        assert snapshot["rejected"] == 0
+        assert payload["settings"]["requests"] == 8
 
     @pytest.mark.slow
     def test_fig14_curves_serializable(self, tmp_path):

@@ -1,0 +1,46 @@
+"""Shared helpers for the serving-subsystem tests.
+
+The tiny mix keeps functional simulation cheap (a few ms per request)
+while still covering the three workload archetypes the batcher must
+keep apart: matrix-vector (constant weight matrix), element-wise and
+batched matrix-vector.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.serve import MixEntry
+from repro.workloads import mmtv, mtv, va
+
+
+def tiny_mix() -> Dict[str, MixEntry]:
+    return {
+        "mtv": MixEntry(
+            mtv(32, 64),
+            {
+                "m_dpus": 4,
+                "k_dpus": 1,
+                "n_tasklets": 2,
+                "cache": 16,
+                "host_threads": 1,
+                "unroll": 0,
+            },
+        ),
+        "va": MixEntry(
+            va(1024),
+            {"n_dpus": 2, "n_tasklets": 2, "cache": 64, "unroll": 0},
+        ),
+        "mmtv": MixEntry(
+            mmtv(4, 4, 32),
+            {
+                "i_dpus": 2,
+                "j_dpus": 1,
+                "k_dpus": 1,
+                "n_tasklets": 2,
+                "cache": 32,
+                "host_threads": 1,
+                "unroll": 0,
+            },
+        ),
+    }

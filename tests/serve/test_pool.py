@@ -1,0 +1,150 @@
+"""ExecutablePool: lazy compile, LRU residency, tuned warm-start."""
+
+import numpy as np
+import pytest
+
+from repro.autotune import autotune
+from repro.serve import ExecutablePool
+from repro.workloads import mtv, va
+
+MTV_PARAMS = {
+    "m_dpus": 4, "k_dpus": 1, "n_tasklets": 2, "cache": 16,
+    "host_threads": 1, "unroll": 0,
+}
+VA_PARAMS = {"n_dpus": 2, "n_tasklets": 2, "cache": 64, "unroll": 0}
+
+
+class TestKeying:
+    def test_equal_workloads_share_key(self):
+        # Structural identity, not object identity.
+        assert ExecutablePool.key_for(
+            mtv(32, 64), "upmem", MTV_PARAMS
+        ) == ExecutablePool.key_for(mtv(32, 64), "upmem", MTV_PARAMS)
+
+    def test_params_split_keys(self):
+        wl = mtv(32, 64)
+        other = dict(MTV_PARAMS, cache=32)
+        assert ExecutablePool.key_for(wl, "upmem", MTV_PARAMS) != (
+            ExecutablePool.key_for(wl, "upmem", other)
+        )
+
+    def test_target_splits_keys(self):
+        wl = mtv(32, 64)
+        assert ExecutablePool.key_for(wl, "upmem") != (
+            ExecutablePool.key_for(wl, "cpu")
+        )
+
+    def test_target_config_splits_keys(self):
+        """Differently-configured instances of one kind must not alias:
+        they compile, batch and time against different machines."""
+        from repro.target import UpmemTarget
+        from repro.upmem import UpmemConfig
+
+        wl = mtv(32, 64)
+        small = UpmemTarget(config=UpmemConfig().with_(n_ranks=2))
+        assert ExecutablePool.key_for(wl, UpmemTarget()) != (
+            ExecutablePool.key_for(wl, small)
+        )
+
+    def test_kind_string_matches_default_instance(self):
+        from repro.target import UpmemTarget
+
+        wl = mtv(32, 64)
+        assert ExecutablePool.key_for(wl, "upmem") == (
+            ExecutablePool.key_for(wl, UpmemTarget())
+        )
+
+    def test_kind_string_tracks_reregistration(self):
+        """register_target(..., overwrite=True) must change the keys of
+        kind-string requests — no stale cached identity."""
+        from repro.target import UpmemTarget, register_target
+        from repro.upmem import UpmemConfig
+
+        kind = "pool-rereg-test"
+        register_target(kind, UpmemTarget)
+        wl = mtv(32, 64)
+        before = ExecutablePool.key_for(wl, kind)
+        small_config = UpmemConfig().with_(n_ranks=2)
+        register_target(
+            kind, lambda: UpmemTarget(config=small_config), overwrite=True
+        )
+        assert ExecutablePool.key_for(wl, kind) != before
+
+    def test_workload_params_mutation_invalidates_memo(self):
+        """The per-instance signature memo revalidates on params
+        changes — mutate-and-resubmit must not reuse the old key."""
+        wl = mtv(32, 64)
+        before = ExecutablePool.key_for(wl, "upmem")
+        assert ExecutablePool.key_for(wl, "upmem") == before  # memo hit
+        wl.params.update({"model": "tagged-later"})
+        assert ExecutablePool.key_for(wl, "upmem") != before
+
+
+class TestResidency:
+    def test_hit_miss_accounting(self):
+        pool = ExecutablePool(capacity=4)
+        wl = va(1024)
+        exe1, loaded1 = pool.get(wl, "upmem", VA_PARAMS)
+        exe2, loaded2 = pool.get(va(1024), "upmem", VA_PARAMS)
+        assert loaded1 and not loaded2
+        assert exe1 is exe2
+        assert pool.stats()["hits"] == 1
+        assert pool.stats()["misses"] == 1
+        assert pool.hit_rate == 0.5
+
+    def test_lru_eviction_prefers_recent(self):
+        pool = ExecutablePool(capacity=2)
+        a, b, c = mtv(32, 64), va(1024), mtv(16, 32)
+        pool.get(a, "upmem", MTV_PARAMS)
+        pool.get(b, "upmem", VA_PARAMS)
+        pool.get(a, "upmem", MTV_PARAMS)  # refresh A
+        pool.get(c, "upmem", MTV_PARAMS)  # evicts B (least recent)
+        assert pool.evictions == 1
+        _, reload_a = pool.get(a, "upmem", MTV_PARAMS)
+        assert not reload_a  # A stayed resident
+        _, reload_b = pool.get(b, "upmem", VA_PARAMS)
+        assert reload_b  # B was the victim
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError, match="capacity"):
+            ExecutablePool(capacity=0)
+
+    def test_executables_run(self):
+        pool = ExecutablePool()
+        wl = va(1024)
+        exe, _ = pool.get(wl, "upmem", VA_PARAMS)
+        ins = wl.random_inputs(seed=0)
+        (out,) = exe.run(ins)
+        np.testing.assert_allclose(out, wl.reference_output(ins), rtol=1e-3)
+
+
+class TestPrewarm:
+    def test_prewarm_counts_new_compiles(self):
+        pool = ExecutablePool(capacity=4)
+        specs = [
+            (mtv(32, 64), "upmem", MTV_PARAMS),
+            (va(1024), "upmem", VA_PARAMS),
+        ]
+        assert pool.prewarm(specs) == 2
+        assert pool.prewarm(specs) == 0  # already resident
+        assert len(pool) == 2
+
+
+class TestTunedWarmStart:
+    def test_pool_resolves_params_from_database(self, tmp_path):
+        """tuned=True + a completed search in the db: the pool compiles
+        with the stored best params, no inline search."""
+        db = str(tmp_path / "tune.jsonl")
+        wl = mtv(64, 64)
+        result = autotune(wl, n_trials=8, seed=0, db=db)
+        pool = ExecutablePool(tuned=True, db=db, tune_trials=8)
+        exe, loaded = pool.get(mtv(64, 64), "upmem")
+        assert loaded
+        assert exe.params == result.best_params
+
+    def test_explicit_params_bypass_tuning(self, tmp_path):
+        pool = ExecutablePool(
+            tuned=True, db=str(tmp_path / "absent.jsonl"), tune_trials=4
+        )
+        exe, _ = pool.get(mtv(32, 64), "upmem", MTV_PARAMS)
+        assert exe.params == MTV_PARAMS
