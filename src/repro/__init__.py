@@ -36,6 +36,8 @@ from .target import (
 )
 from .upmem import DEFAULT_CONFIG, UpmemConfig
 from . import serve
+from . import graph
+from .graph import ModelGraph
 
 __version__ = "0.3.0"
 
@@ -60,6 +62,8 @@ __all__ = [
     "tir",
     "pipeline",
     "serve",
+    "graph",
+    "ModelGraph",
     "compile",
     "Target",
     "TargetError",

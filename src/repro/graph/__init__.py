@@ -1,0 +1,53 @@
+"""``repro.graph`` — end-to-end model graphs over the compile stack.
+
+The layer above per-kernel compilation: a :class:`ModelGraph` is a DAG
+of workloads over named tensors, a placement pass assigns each node a
+backend (MMTV/MTV on the PIM target, element-wise glue on the host —
+overridable per node), a linear-scan memory planner reuses dead
+intermediate buffers, and a :class:`GraphExecutable` compiles every node
+through the serving :class:`~repro.serve.pool.ExecutablePool` and runs
+whole decode steps bit-for-bit equal to per-op execution, with an
+end-to-end latency model that pays host<->DPU transfers only on
+placement boundaries and weight staging once per load.
+
+Quick tour::
+
+    from repro.graph import gptj_decoder_graph, compile_graph, plan_memory
+
+    graph = gptj_decoder_graph(tokens=16)
+    exe = compile_graph(graph, target="upmem")   # or repro.compile(graph)
+    outs = exe.run(graph.random_inputs(seed=0))
+    for cost in exe.profile().nodes:
+        print(cost.node, cost.target, cost.total_s)
+    print(plan_memory(graph).reuse_ratio)
+"""
+
+from .builder import GPTJ_SIM, gptj_decoder_graph, small_grid_params
+from .executable import (
+    GraphExecutable,
+    GraphProfile,
+    NodeCost,
+    compile_graph,
+)
+from .ir import GraphError, ModelGraph, Node
+from .memory import MemoryPlan, SlotAssignment, plan_memory
+from .placement import PIM_OP_NAMES, PLACEMENT_POLICIES, place
+
+__all__ = [
+    "GraphError",
+    "ModelGraph",
+    "Node",
+    "GraphExecutable",
+    "GraphProfile",
+    "NodeCost",
+    "compile_graph",
+    "MemoryPlan",
+    "SlotAssignment",
+    "plan_memory",
+    "place",
+    "PIM_OP_NAMES",
+    "PLACEMENT_POLICIES",
+    "GPTJ_SIM",
+    "gptj_decoder_graph",
+    "small_grid_params",
+]

@@ -1,0 +1,154 @@
+"""Memory planning: linear-scan buffer reuse over the topological order.
+
+A naive executor gives every intermediate tensor its own buffer, so a
+decode step holds ``sum(nbytes of every node output)`` at once.  The
+planner walks the graph's deterministic topological order, computes each
+intermediate's live range ``[definition, last use]`` (graph outputs stay
+live to the end), and linear-scans buffers into reusable *slots*: a
+tensor whose last reader has already run frees its slot for the next
+definition (best fit by size; a new slot opens only when nothing free
+fits).  The resulting arena is what a memory-constrained host would
+actually allocate for the serial schedule; weights and external inputs
+are accounted separately since they are resident, not transient.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from .ir import ModelGraph
+
+__all__ = ["SlotAssignment", "MemoryPlan", "plan_memory"]
+
+
+@dataclass(frozen=True)
+class SlotAssignment:
+    """Where one intermediate tensor lives and for how long."""
+
+    tensor: str
+    slot: int
+    nbytes: int
+    #: Positions in the topological order: defined at ``start``, last
+    #: read at ``end`` (``end == len(order)`` for graph outputs).
+    start: int
+    end: int
+
+
+@dataclass
+class MemoryPlan:
+    """Outcome of planning one graph's intermediates."""
+
+    #: Final byte size of each reuse slot (a slot grows to the largest
+    #: tensor it ever hosts).
+    slot_sizes: List[int] = field(default_factory=list)
+    assignments: List[SlotAssignment] = field(default_factory=list)
+    #: Sum of slot sizes: bytes the planned arena actually needs.
+    arena_bytes: int = 0
+    #: Sum of every intermediate's size: the no-reuse allocation.
+    naive_bytes: int = 0
+    #: Max bytes simultaneously live under the serial schedule (lower
+    #: bound no planner can beat).
+    peak_live_bytes: int = 0
+    #: Resident external tensors, split const (weights/KV) vs dynamic.
+    weight_bytes: int = 0
+    input_bytes: int = 0
+
+    @property
+    def reuse_ratio(self) -> float:
+        """naive / arena — how much the planner shrank the footprint."""
+        return self.naive_bytes / self.arena_bytes if self.arena_bytes else 1.0
+
+    def slot_of(self, tensor: str) -> int:
+        for a in self.assignments:
+            if a.tensor == tensor:
+                return a.slot
+        raise KeyError(f"tensor {tensor!r} is not planned")
+
+    def to_dict(self) -> Dict:
+        """The ``--json`` payload."""
+        return {
+            "arena_bytes": self.arena_bytes,
+            "naive_bytes": self.naive_bytes,
+            "peak_live_bytes": self.peak_live_bytes,
+            "weight_bytes": self.weight_bytes,
+            "input_bytes": self.input_bytes,
+            "slots": len(self.slot_sizes),
+            "tensors": len(self.assignments),
+            "reuse_ratio": self.reuse_ratio,
+        }
+
+
+def plan_memory(graph: ModelGraph) -> MemoryPlan:
+    """Plan intermediate-buffer reuse for ``graph``.
+
+    Deterministic: depends only on the graph's structure (topological
+    order, tensor sizes), never on placement, thread count or wall time.
+    """
+    graph.validate()
+    order = graph.topological_order()
+    position = {node.name: i for i, node in enumerate(order)}
+    outputs = set(graph.output_names)
+
+    # Live ranges of intermediates (node outputs), in definition order.
+    ranges: List[Tuple[str, int, int, int]] = []  # (tensor, def, last, nbytes)
+    for i, node in enumerate(order):
+        last = len(order) if node.output in outputs else i
+        for consumer in graph.consumers(node.output):
+            last = max(last, position[consumer.name])
+        ranges.append((node.output, i, last, graph.tensor_nbytes(node.output)))
+
+    plan = MemoryPlan()
+    plan.naive_bytes = sum(nbytes for _, _, _, nbytes in ranges)
+    plan.weight_bytes = sum(
+        graph.tensor_nbytes(n) for n in graph.input_names
+        if n in graph.const_inputs
+    )
+    plan.input_bytes = sum(
+        graph.tensor_nbytes(n) for n in graph.input_names
+        if n not in graph.const_inputs
+    )
+
+    slot_sizes: List[int] = []
+    free: List[int] = []  # indices of currently unoccupied slots
+    expiry: List[Tuple[int, int]] = []  # (end, slot) of live tensors
+    for tensor, start, end, nbytes in ranges:
+        # Expire tensors whose last reader ran strictly before this
+        # definition (a tensor read *by* the defining node must not
+        # share its slot — that would alias an input with the output).
+        for done_end, slot in list(expiry):
+            if done_end < start:
+                free.append(slot)
+                expiry.remove((done_end, slot))
+        # Best fit: the smallest free slot that holds the tensor;
+        # otherwise grow the largest free slot / open a new one.
+        fitting = sorted(
+            (s for s in free if slot_sizes[s] >= nbytes),
+            key=lambda s: (slot_sizes[s], s),
+        )
+        if fitting:
+            slot = fitting[0]
+            free.remove(slot)
+        elif free:
+            slot = max(free, key=lambda s: (slot_sizes[s], -s))
+            free.remove(slot)
+            slot_sizes[slot] = nbytes
+        else:
+            slot = len(slot_sizes)
+            slot_sizes.append(nbytes)
+        expiry.append((end, slot))
+        plan.assignments.append(
+            SlotAssignment(tensor, slot, nbytes, start, end)
+        )
+
+    # Peak concurrent live bytes under the serial schedule.
+    peak = 0
+    for i in range(len(order)):
+        live = sum(
+            nbytes for _, start, end, nbytes in ranges if start <= i <= end
+        )
+        peak = max(peak, live)
+    plan.peak_live_bytes = peak
+    plan.slot_sizes = slot_sizes
+    plan.arena_bytes = sum(slot_sizes)
+    return plan

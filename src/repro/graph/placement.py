@@ -1,0 +1,99 @@
+"""Placement: assign every graph node a Target.
+
+The policy mirrors the paper's system split — the matrix-vector family
+(MTV/GEMV/MMTV/TTV, the ops PIM wins on) compiles for the PIM target,
+element-wise glue (slices, softmax, activations, residual adds) stays on
+the host — with three stock policies:
+
+* ``default`` — matvec ops on the PIM target, everything else on host;
+* ``cpu``     — the whole graph on the host roofline (the paper's CPU
+  baseline for a full decode step);
+* ``mixed``   — attention matvecs (tagged ``attn``) on PIM, FC-layer
+  matvecs on host: the hybrid the end-to-end experiment compares.
+
+A node's explicit ``target`` override always wins; the pass validates
+that an override (or a policy choice) can actually compile the node —
+host-only glue forced onto a module-compiling backend is a
+:class:`~repro.graph.ir.GraphError` at placement time, not a confusing
+compile failure later.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Union
+
+from ..target import Target, get_target
+from .ir import GraphError, ModelGraph, Node
+
+__all__ = ["PIM_OP_NAMES", "PLACEMENT_POLICIES", "place", "is_pim_capable"]
+
+#: Workload names the PIM sketch generator understands — the ops the
+#: default policy sends to the PIM target.  Element-wise ``va``/``geva``
+#: are sketchable too but stay host-side by default (inter-op glue);
+#: override per node to push a residual add onto the device.
+PIM_OP_NAMES = frozenset({"mtv", "gemv", "mmtv", "ttv"})
+
+#: ``"upmem"`` is an alias for ``"default"`` (matvecs on the PIM side),
+#: so experiment configs read as the placement they produce.
+PLACEMENT_POLICIES = ("default", "upmem", "cpu", "mixed")
+
+
+def is_pim_capable(node: Node, pim_target: Target) -> bool:
+    """Whether ``pim_target`` can compile the node's workload (glue ops
+    carry no PIM sketch and must stay on a functional host backend)."""
+    return pim_target.supports(node.workload)
+
+
+def place(
+    graph: ModelGraph,
+    policy: str = "default",
+    pim: Union[str, Target] = "upmem",
+    host: Union[str, Target] = "cpu",
+) -> Dict[str, Target]:
+    """Assign a Target to every node; returns ``{node name: Target}``.
+
+    ``pim``/``host`` are resolved once, so every assigned node shares
+    one Target instance per side (one pool identity, one config).
+    """
+    if policy not in PLACEMENT_POLICIES:
+        raise GraphError(
+            f"unknown placement policy {policy!r};"
+            f" choose from {PLACEMENT_POLICIES}"
+        )
+    if policy == "upmem":
+        policy = "default"
+    graph.validate()
+    pim_target = get_target(pim)
+    host_target = get_target(host)
+    placement: Dict[str, Target] = {}
+    for node in graph.nodes:
+        placement[node.name] = _place_node(
+            node, policy, pim_target, host_target
+        )
+    return placement
+
+
+def _place_node(
+    node: Node, policy: str, pim_target: Target, host_target: Target
+) -> Target:
+    if node.target is not None:
+        target = get_target(node.target)
+        _check_capable(node, target)
+        return target
+    wants_pim = (
+        node.workload.name in PIM_OP_NAMES
+        and "glue" not in node.tags
+        and (policy == "default" or (policy == "mixed" and "attn" in node.tags))
+    )
+    if wants_pim and is_pim_capable(node, pim_target):
+        return pim_target
+    _check_capable(node, host_target)
+    return host_target
+
+
+def _check_capable(node: Node, target: Target) -> None:
+    if not target.supports(node.workload):
+        raise GraphError(
+            f"node {node.name!r} ({node.workload.name}) cannot compile"
+            f" for target {target.kind!r}"
+        )

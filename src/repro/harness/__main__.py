@@ -116,6 +116,25 @@ def run_experiment(name: str, args: argparse.Namespace):
             n_requests=args.requests, seed=args.seed
         )
         _print_rows(data["rows"], "Fig 16 (serving: dynamic batching)")
+    elif name == "fig17":
+        data = experiments.fig17_end_to_end(
+            tokens=args.tokens, seed=args.seed
+        )
+        _print_rows(
+            data["rows"],
+            f"Fig 17 (end-to-end decode step: {data['graph']})",
+        )
+        mixed_rows = data["breakdown"].get("mixed") or next(
+            iter(data["breakdown"].values())
+        )
+        _print_rows(mixed_rows, "Fig 17: per-node breakdown (mixed)")
+        mem = data["memory"]
+        print(
+            f"memory plan: arena {mem['arena_bytes']} B over"
+            f" {mem['slots']} slots vs naive {mem['naive_bytes']} B"
+            f" ({mem['reuse_ratio']:.2f}x reuse;"
+            f" peak live {mem['peak_live_bytes']} B)"
+        )
     else:
         raise SystemExit(f"unknown experiment {name!r}")
     return data
@@ -123,7 +142,7 @@ def run_experiment(name: str, args: argparse.Namespace):
 
 EXPERIMENTS = (
     "fig3a", "fig3b", "fig3c", "fig4", "fig9", "tab3", "fig10",
-    "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
+    "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
 )
 
 
@@ -170,6 +189,7 @@ def write_json(path: str, results, args: argparse.Namespace) -> None:
             "resume": args.resume,
             "parallel_measure": args.parallel_measure,
             "requests": args.requests,
+            "tokens": args.tokens,
         },
     }
     with open(path, "w") as fh:
@@ -191,6 +211,11 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--requests", type=int, default=32, metavar="N",
         help="traffic-trace length for the serving experiment (fig16)",
+    )
+    parser.add_argument(
+        "--tokens", type=int, default=16, metavar="T",
+        help="decode positions for the end-to-end graph experiment"
+             " (fig17)",
     )
     parser.add_argument(
         "--cache-stats", action="store_true",

@@ -11,6 +11,8 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..autotune import Tuner, autotune, measure_stats
 from ..autotune.compile import default_engine
 from ..pipeline import CacheStats
@@ -50,6 +52,7 @@ __all__ = [
     "fig14_search_strategies",
     "fig15_tuning_overhead",
     "fig16_serving",
+    "fig17_end_to_end",
 ]
 
 
@@ -725,3 +728,79 @@ def fig16_serving(
                 }
             )
     return {"rows": rows, "metrics": metrics, "n_requests": n_requests}
+
+
+# ---------------------------------------------------------------------------
+# Fig. 17 — whole-model decode step: placement, memory, end-to-end latency
+# ---------------------------------------------------------------------------
+
+
+def fig17_end_to_end(
+    tokens: int = 16,
+    config=None,
+    placements: Sequence[str] = ("upmem", "cpu", "mixed"),
+    seed: int = 0,
+    execute: bool = True,
+    max_workers: Optional[int] = None,
+) -> Dict:
+    """One GPT-J decoder-layer decode step as a model graph, end to end.
+
+    Not a paper figure: the graph subsystem's headline experiment.  The
+    same :class:`~repro.graph.ModelGraph` compiles under three placement
+    policies — everything-PIM (matvecs on upmem, glue on the host),
+    everything-CPU, and a mixed split (attention on PIM, FC layers on
+    the CPU roofline) — and reports a per-node latency breakdown
+    (compute vs boundary transfers vs one-time weight staging) plus the
+    memory planner's arena against the naive no-reuse allocation.
+
+    ``config`` defaults to the scaled :data:`repro.graph.GPTJ_SIM`
+    configuration (same topology as GPT-J 6B) so each placement also
+    *executes* functionally and is checked against the NumPy reference;
+    pass ``execute=False`` for timing-only sweeps at bigger shapes.
+    """
+    from ..graph import compile_graph, gptj_decoder_graph, place, plan_memory
+    from ..graph.builder import GPTJ_SIM
+
+    graph = gptj_decoder_graph(config or GPTJ_SIM, tokens=tokens)
+    plan = plan_memory(graph)
+    inputs = graph.random_inputs(seed=seed) if execute else None
+    reference = graph.reference_outputs(inputs) if execute else None
+
+    rows: List[Dict] = []
+    breakdown: Dict[str, List[Dict]] = {}
+    for policy in placements:
+        placement = place(graph, policy=policy)
+        exe = compile_graph(
+            graph, placement=placement, max_workers=max_workers
+        )
+        profile = exe.profile()
+        matches = None
+        if execute:
+            (out,) = exe.run(inputs)
+            matches = bool(
+                np.allclose(out, reference["y"], rtol=1e-3, atol=1e-5)
+            )
+        kinds = [placement[n.name].kind for n in graph.nodes]
+        rows.append(
+            {
+                "placement": policy,
+                "nodes": len(graph),
+                "pim_nodes": sum(k == "upmem" for k in kinds),
+                "host_nodes": sum(k != "upmem" for k in kinds),
+                "total_ms": profile.total * 1e3,
+                "steady_state_ms": profile.steady_state_s * 1e3,
+                "compute_ms": sum(c.compute_s for c in profile.nodes) * 1e3,
+                "h2d_ms": sum(c.h2d_s for c in profile.nodes) * 1e3,
+                "d2h_ms": sum(c.d2h_s for c in profile.nodes) * 1e3,
+                "staging_ms": profile.staging_s * 1e3,
+                "matches_reference": matches,
+            }
+        )
+        breakdown[policy] = [c.to_dict() for c in profile.nodes]
+    return {
+        "rows": rows,
+        "breakdown": breakdown,
+        "memory": plan.to_dict(),
+        "graph": graph.name,
+        "tokens": tokens,
+    }

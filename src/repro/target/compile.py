@@ -69,7 +69,40 @@ def compile(
 
     Returns the target's :class:`Executable` with the uniform
     ``run`` / ``run_batch`` / ``profile`` / ``latency`` surface.
+
+    A :class:`repro.graph.ModelGraph` compiles node-by-node instead:
+    ``target`` becomes the PIM side of the placement (glue nodes stay on
+    the host), and the result is a
+    :class:`~repro.graph.executable.GraphExecutable`.
     """
+    from ..graph.ir import ModelGraph
+
+    if isinstance(workload_or_schedule, ModelGraph):
+        from ..graph.executable import compile_graph
+
+        if params is not None:
+            raise ValueError(
+                "params= does not apply to a ModelGraph — pin schedule"
+                " parameters per node (Node.params / the builder's"
+                " params= overrides)"
+            )
+
+        graph_hints = {
+            k: v
+            for k, v in hints.items()
+            if k in (
+                "host_target", "placement", "policy", "pool", "max_workers"
+            )
+        }
+        return compile_graph(
+            workload_or_schedule,
+            target=target,
+            opt_level=opt_level,
+            tuned=tuned,
+            db=db,
+            tune_trials=tune_trials,
+            **graph_hints,
+        )
     target = get_target(target)
     if tuned and params is None:
         from ..schedule import Schedule

@@ -61,13 +61,25 @@ _FACTORIES: Dict[str, Callable[..., Workload]] = {
 
 
 def make_workload(name: str, size: str) -> Workload:
-    """Instantiate a standard workload, e.g. ``make_workload("mtv", "64MB")``."""
+    """Instantiate a standard workload, e.g. ``make_workload("mtv", "64MB")``.
+
+    Unknown names raise :class:`ValueError` listing the valid workload
+    names; unknown sizes list the valid size labels for that workload —
+    never a bare :class:`KeyError` from the lookup internals.
+    """
     try:
-        args = SIZED_WORKLOADS[name][size]
+        sizes = SIZED_WORKLOADS[name]
     except KeyError:
-        raise KeyError(
-            f"unknown workload/size {name!r}/{size!r};"
-            f" sizes for {name!r}: {list(SIZED_WORKLOADS.get(name, {}))}"
+        raise ValueError(
+            f"unknown workload {name!r};"
+            f" valid workloads: {list(SIZED_WORKLOADS)}"
+        ) from None
+    try:
+        args = sizes[size]
+    except KeyError:
+        raise ValueError(
+            f"unknown size {size!r} for workload {name!r};"
+            f" valid sizes: {list(sizes)}"
         ) from None
     return _FACTORIES[name](*args)
 

@@ -1,0 +1,44 @@
+"""Shared fixtures for the model-graph tests.
+
+The tiny GPT-J configuration keeps functional simulation cheap (the
+whole decode step is a few ms of host time) while preserving the real
+graph topology: ``n_heads * head_dim == d_model``, four FC-shape MTVs,
+per-head attention, glue, residuals.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import ModelGraph, gptj_decoder_graph
+from repro.workloads import GPTJConfig, mtv, va
+
+TINY = GPTJConfig("gptj-tiny", n_heads=2, d_model=32, head_dim=16)
+
+
+@pytest.fixture
+def tiny_config() -> GPTJConfig:
+    return TINY
+
+
+@pytest.fixture
+def tiny_decoder() -> ModelGraph:
+    return gptj_decoder_graph(TINY, tokens=4)
+
+
+def chain_graph() -> ModelGraph:
+    """x -> mtv -> va(+x2) -> mtv -> y: a minimal multi-buffer chain."""
+    g = ModelGraph("chain")
+    g.add_input("x", (16,))
+    g.add_input("x2", (16,))
+    g.add_input("w1", (16, 16), const=True)
+    g.add_input("w2", (16, 16), const=True)
+    small = {
+        "m_dpus": 4, "k_dpus": 1, "n_tasklets": 2, "cache": 16,
+        "host_threads": 1, "unroll": 0,
+    }
+    vsmall = {"n_dpus": 2, "n_tasklets": 2, "cache": 16, "unroll": 0}
+    g.add_node("h1", mtv(16, 16), {"A": "w1", "B": "x"}, "t1", params=small)
+    g.add_node("add", va(16), {"A": "t1", "B": "x2"}, "t2", params=vsmall)
+    g.add_node("h2", mtv(16, 16), {"A": "w2", "B": "t2"}, "y", params=small)
+    return g

@@ -1,0 +1,130 @@
+"""The GPT-J decoder-layer graph builder."""
+
+import numpy as np
+import pytest
+
+from repro.graph import GPTJ_SIM, gptj_decoder_graph, small_grid_params
+from repro.workloads import GPTJConfig, fc_shapes, mmtv, mtv, red, ttv, va
+
+from .conftest import TINY
+
+
+class TestTopology:
+    def test_node_count_scales_with_heads(self):
+        g = gptj_decoder_graph(TINY, tokens=4)
+        # qkv + 4 per head + concat + proj + fc + gelu + fc_proj + 2 va
+        assert len(g) == 8 + 4 * TINY.n_heads
+        assert g.output_names == ["y"]
+
+    def test_uses_all_four_fc_shapes(self):
+        g = gptj_decoder_graph(TINY, tokens=4)
+        mtv_layers = {
+            node.workload.params.get("layer")
+            for node in g.nodes
+            if node.workload.name == "mtv"
+        }
+        assert {name for name, _, _ in fc_shapes(TINY)} <= mtv_layers
+
+    def test_per_head_programs_are_shared(self):
+        """All heads reference one score workload and one value workload
+        — the pool compiles each program once."""
+        g = gptj_decoder_graph(TINY, tokens=4)
+        scores = {
+            id(n.workload) for n in g.nodes if n.name.startswith("attn_score")
+        }
+        values = {
+            id(n.workload) for n in g.nodes if n.name.startswith("attn_value")
+        }
+        assert len(scores) == 1 and len(values) == 1
+
+    def test_weights_and_kv_cache_are_const(self):
+        g = gptj_decoder_graph(TINY, tokens=4)
+        const = g.const_inputs
+        assert {"w_qkv", "w_proj", "w_fc", "w_fc_proj"} <= const
+        for h in range(TINY.n_heads):
+            assert f"k_cache_{h}" in const
+            assert f"v_cache_t_{h}" in const
+        assert "x" not in const
+
+    def test_mismatched_head_geometry_rejected(self):
+        bad = GPTJConfig("bad", n_heads=3, d_model=32, head_dim=16)
+        with pytest.raises(ValueError, match="must equal d_model"):
+            gptj_decoder_graph(bad, tokens=4)
+
+    def test_sim_config_is_consistent(self):
+        assert GPTJ_SIM.n_heads * GPTJ_SIM.head_dim == GPTJ_SIM.d_model
+
+    def test_param_overrides_and_unpinned(self):
+        g = gptj_decoder_graph(
+            TINY, tokens=4, params={"fc": {"m_dpus": 2, "k_dpus": 1,
+                                           "n_tasklets": 2, "cache": 16,
+                                           "host_threads": 1, "unroll": 0}}
+        )
+        fc = next(n for n in g.nodes if n.name == "fc")
+        assert fc.params["m_dpus"] == 2
+        unpinned = gptj_decoder_graph(TINY, tokens=4, pin_small_grids=False)
+        assert all(
+            n.params is None for n in unpinned.nodes
+            if n.workload.name in ("mtv", "mmtv", "va")
+        )
+
+
+class TestReference:
+    def test_reference_matches_hand_rolled_numpy(self):
+        g = gptj_decoder_graph(TINY, tokens=4)
+        ins = g.random_inputs(7)
+        out = g.reference_outputs(ins)["y"]
+
+        d, hd, H, T = (
+            TINY.d_model, TINY.head_dim, TINY.n_heads, 4
+        )
+        qkv = ins["w_qkv"] @ ins["x"]
+        heads = []
+        for h in range(H):
+            q = qkv[h * hd:(h + 1) * hd]
+            scores = np.einsum(
+                "ijl,il->ij", ins[f"k_cache_{h}"], q[None, :]
+            )[0]
+            z = scores.astype(np.float32) / np.float32(np.sqrt(hd))
+            z = z - z.max()
+            e = np.exp(z)
+            probs = (e / e.sum()).astype(np.float32)
+            heads.append(ins[f"v_cache_t_{h}"] @ probs)
+        attn = ins["w_proj"] @ np.concatenate(heads).astype(np.float32)
+        hidden = ins["w_fc"] @ ins["x"]
+        c = np.float32(np.sqrt(2.0 / np.pi))
+        act = (
+            np.float32(0.5) * hidden
+            * (np.float32(1.0)
+               + np.tanh(c * (hidden + np.float32(0.044715) * hidden ** 3)))
+        ).astype(np.float32)
+        ff = ins["w_fc_proj"] @ act
+        want = (ins["x"] + attn) + ff
+        np.testing.assert_allclose(out, want, rtol=1e-4)
+
+
+class TestSmallGridParams:
+    @pytest.mark.parametrize(
+        "workload",
+        [va(1024), red(4096), mtv(64, 128), mmtv(2, 8, 32), ttv(4, 8, 64)],
+        ids=lambda w: w.name,
+    )
+    def test_grids_stay_small_and_valid(self, workload):
+        params = small_grid_params(workload)
+        dpus = [v for k, v in params.items() if k.endswith("dpus")]
+        assert all(1 <= v <= 8 for v in dpus)
+        assert params["n_tasklets"] <= 4
+        # Every grid dimension fits the workload's extent.
+        if workload.name in ("mtv", "gemv"):
+            assert params["m_dpus"] <= workload.shape[0]
+        if workload.name in ("ttv", "mmtv"):
+            assert params["i_dpus"] <= workload.shape[0]
+            assert params["j_dpus"] <= workload.shape[1]
+
+    def test_unknown_workload_rejected(self):
+        class Fake:
+            name = "conv"
+            shape = (8,)
+
+        with pytest.raises(KeyError):
+            small_grid_params(Fake())

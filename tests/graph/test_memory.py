@@ -1,0 +1,81 @@
+"""Memory planner: linear-scan reuse over the topological order."""
+
+from repro.graph import ModelGraph, plan_memory
+from repro.workloads import va
+
+from .conftest import chain_graph
+
+
+def _linear(n_nodes: int, width: int = 64) -> ModelGraph:
+    """A straight chain of VA nodes: every intermediate dies after one
+    use, so the planner should ping-pong between two slots."""
+    g = ModelGraph("linear")
+    g.add_input("x", (width,))
+    g.add_input("b", (width,))
+    prev = "x"
+    for i in range(n_nodes):
+        g.add_node(f"n{i}", va(width), {"A": prev, "B": "b"}, f"t{i}")
+        prev = f"t{i}"
+    return g
+
+
+class TestLinearScan:
+    def test_chain_reuses_dead_buffers(self):
+        plan = plan_memory(_linear(6))
+        # 6 intermediates, but never more than 2 live at once (the input
+        # of the running node and its output).
+        assert plan.naive_bytes == 6 * 64 * 4
+        assert len(plan.slot_sizes) == 2
+        assert plan.arena_bytes == 2 * 64 * 4
+        assert plan.peak_live_bytes == 2 * 64 * 4
+        assert plan.reuse_ratio == 3.0
+
+    def test_no_two_live_tensors_share_a_slot(self, tiny_decoder):
+        plan = plan_memory(tiny_decoder)
+        for a in plan.assignments:
+            for b in plan.assignments:
+                if a.tensor == b.tensor or a.slot != b.slot:
+                    continue
+                # Live ranges in one slot must not overlap.
+                assert a.end < b.start or b.end < a.start, (a, b)
+
+    def test_slot_holds_its_largest_tensor(self, tiny_decoder):
+        plan = plan_memory(tiny_decoder)
+        for a in plan.assignments:
+            assert plan.slot_sizes[a.slot] >= a.nbytes
+
+    def test_graph_outputs_stay_live_to_the_end(self):
+        g = chain_graph()
+        plan = plan_memory(g)
+        y = next(a for a in plan.assignments if a.tensor == "y")
+        assert y.end == len(g.nodes)
+
+    def test_decoder_peak_strictly_below_naive(self, tiny_decoder):
+        plan = plan_memory(tiny_decoder)
+        assert plan.arena_bytes < plan.naive_bytes
+        assert plan.arena_bytes >= plan.peak_live_bytes
+        assert plan.reuse_ratio > 1.0
+
+    def test_weights_accounted_separately(self, tiny_decoder):
+        plan = plan_memory(tiny_decoder)
+        expected_weights = sum(
+            tiny_decoder.tensor_nbytes(n)
+            for n in tiny_decoder.const_inputs
+        )
+        assert plan.weight_bytes == expected_weights
+        assert plan.input_bytes == tiny_decoder.tensor_nbytes("x")
+
+    def test_plan_is_deterministic(self, tiny_decoder):
+        a, b = plan_memory(tiny_decoder), plan_memory(tiny_decoder)
+        assert a.assignments == b.assignments
+        assert a.slot_sizes == b.slot_sizes
+        assert a.to_dict() == b.to_dict()
+
+    def test_to_dict_payload(self, tiny_decoder):
+        payload = plan_memory(tiny_decoder).to_dict()
+        assert set(payload) == {
+            "arena_bytes", "naive_bytes", "peak_live_bytes",
+            "weight_bytes", "input_bytes", "slots", "tensors",
+            "reuse_ratio",
+        }
+        assert payload["tensors"] == len(tiny_decoder.nodes)

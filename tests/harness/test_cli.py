@@ -10,8 +10,24 @@ from repro.harness.__main__ import EXPERIMENTS, main
 def test_experiment_list_covers_all_figures():
     assert set(EXPERIMENTS) == {
         "fig3a", "fig3b", "fig3c", "fig4", "fig9", "tab3", "fig10",
-        "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
+        "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
     }
+
+
+def test_fig17_runs_and_dumps_json(tmp_path, capsys):
+    path = tmp_path / "BENCH_fig17.json"
+    assert main(["fig17", "--tokens", "4", "--json", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "Fig 17" in out and "per-node breakdown" in out
+    assert "memory plan:" in out
+    payload = json.loads(path.read_text())
+    data = payload["experiments"]["fig17"]
+    # Per-node breakdowns for every placement the ISSUE names.
+    assert set(data["breakdown"]) == {"upmem", "cpu", "mixed"}
+    for rows in data["breakdown"].values():
+        assert rows and all("total_ms" in row for row in rows)
+    assert data["memory"]["arena_bytes"] < data["memory"]["naive_bytes"]
+    assert payload["settings"]["tokens"] == 4
 
 
 def test_fig3a_runs(capsys):

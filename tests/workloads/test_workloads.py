@@ -88,10 +88,24 @@ class TestRegistry:
         assert wl.footprint_mb == pytest.approx(64, rel=0.01)
 
     def test_unknown_rejected(self):
-        with pytest.raises(KeyError):
+        with pytest.raises(ValueError):
             make_workload("mtv", "1TB")
-        with pytest.raises(KeyError):
+        with pytest.raises(ValueError):
             make_workload("conv", "4MB")
+
+    def test_unknown_workload_error_lists_valid_names(self):
+        with pytest.raises(ValueError, match="unknown workload 'conv'") as exc:
+            make_workload("conv", "4MB")
+        for name in workload_names():
+            assert name in str(exc.value)
+
+    def test_unknown_size_error_lists_valid_labels(self):
+        with pytest.raises(ValueError, match="unknown size '1TB'") as exc:
+            make_workload("red", "1TB")
+        for label in size_labels("red"):
+            assert label in str(exc.value)
+        # A bare KeyError must never leak from the registry lookup.
+        assert not isinstance(exc.value, KeyError)
 
     def test_every_size_label_matches_byte_size(self):
         """Each entry's defining tensor is exactly its labelled size.
@@ -145,3 +159,54 @@ class TestGptj:
     def test_head_counts(self):
         assert GPTJ_6B.n_heads == 16
         assert GPTJ_30B.n_heads == 28
+
+
+class TestGptjByteSizes:
+    """Byte-size sanity of the GPT-J helpers, both model configs.
+
+    Same convention as the SIZED_WORKLOADS registry test: float32
+    tensors, 4 bytes per element, sizes derived from d_model/n_heads.
+    """
+
+    ELEM = 4  # float32
+
+    @pytest.mark.parametrize("config", [GPTJ_6B, GPTJ_30B],
+                             ids=lambda c: c.name)
+    def test_heads_partition_d_model(self, config):
+        assert config.n_heads * config.head_dim == config.d_model
+        assert config.d_ff == 4 * config.d_model
+
+    @pytest.mark.parametrize("config", [GPTJ_6B, GPTJ_30B],
+                             ids=lambda c: c.name)
+    def test_mha_mmtv_bytes(self, config):
+        batch, tokens = 2, 64
+        wl = mha_mmtv(config, batch=batch, tokens=tokens)
+        m = batch * config.n_heads
+        assert wl.shape == (m, tokens, config.head_dim)
+        # A: (m, tokens, head_dim) KV slab; B: (m, head_dim) queries.
+        assert wl.bytes_in == self.ELEM * (
+            m * tokens * config.head_dim + m * config.head_dim
+        )
+        assert wl.bytes_out == self.ELEM * m * tokens
+        assert wl.params["model"] == config.name
+        assert wl.const_inputs == frozenset({"A"})
+
+    @pytest.mark.parametrize("config", [GPTJ_6B, GPTJ_30B],
+                             ids=lambda c: c.name)
+    def test_fc_shapes_bytes(self, config):
+        d = config.d_model
+        expected_mk = {
+            "qkv_proj": (d, d),
+            "qkv_gen": (3 * d, d),
+            "fc": (4 * d, d),
+            "fc_proj": (d, 4 * d),
+        }
+        shapes = fc_shapes(config)
+        assert {name for name, _, _ in shapes} == set(expected_mk)
+        for name, m, k in shapes:
+            assert (m, k) == expected_mk[name]
+            wl = fc_mtv(config, name)
+            # A: (m, k) weight matrix; B: (k,) activation vector.
+            assert wl.bytes_in == self.ELEM * (m * k + k)
+            assert wl.bytes_out == self.ELEM * m
+            assert wl.const_inputs == frozenset({"A"})
