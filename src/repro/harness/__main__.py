@@ -116,6 +116,9 @@ def run_experiment(name: str, args: argparse.Namespace):
             n_requests=args.requests, seed=args.seed
         )
         _print_rows(data["rows"], "Fig 16 (serving: dynamic batching)")
+    elif name == "sim_speed":
+        data = experiments.sim_speed(seed=args.seed)
+        _print_rows(data, "Simulator speed (scalar vs vector)")
     elif name == "fig17":
         data = experiments.fig17_end_to_end(
             tokens=args.tokens, seed=args.seed
@@ -143,6 +146,7 @@ def run_experiment(name: str, args: argparse.Namespace):
 EXPERIMENTS = (
     "fig3a", "fig3b", "fig3c", "fig4", "fig9", "tab3", "fig10",
     "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
+    "sim_speed",
 )
 
 

@@ -9,6 +9,7 @@ minutes; pass larger ``n_trials`` to tighten results.
 from __future__ import annotations
 
 import math
+import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -53,6 +54,7 @@ __all__ = [
     "fig15_tuning_overhead",
     "fig16_serving",
     "fig17_end_to_end",
+    "sim_speed",
 ]
 
 
@@ -648,6 +650,64 @@ def fig15_tuning_overhead(
         "measure_cache_hits": [float(result.measure_cache_hits)],
         "measure_cache_misses": [float(result.measure_cache_misses)],
     }
+
+
+# ---------------------------------------------------------------------------
+# Simulator raw speed — scalar interpreter vs vectorized NumPy backend
+# ---------------------------------------------------------------------------
+
+
+def sim_speed(
+    cases: Sequence[Tuple[str, str]] = (
+        ("mtv", "4MB"),
+        ("mmtv", "4MB"),
+        ("va", "4MB"),
+        ("red", "4MB"),
+    ),
+    seed: int = 0,
+) -> List[Dict]:
+    """Functional-simulation wall-clock: scalar vs vector, same module.
+
+    Each case compiles one untuned O3 module, runs it once under the
+    scalar :class:`~repro.upmem.Interpreter` and once under the
+    vectorized NumPy backend (``REPRO_SIM_MODE`` pinned per executor,
+    so the ambient knob does not skew the comparison), and checks the
+    two output buffers byte-for-byte.  Plan construction happens
+    outside the timed region — it is a once-per-module cost served from
+    the plan cache on every later run, exactly as in tuning loops.
+    """
+    from ..target import default_params
+    from ..upmem import FunctionalExecutor
+    from ..upmem.vectorize import plan_for
+
+    rows = []
+    for name, size in cases:
+        wl = make_workload(name, size)
+        artifact = default_engine().compile(
+            wl, default_params(wl), optimize="O3", check=False
+        )
+        if not artifact.ok:
+            raise ValueError(f"seed params invalid for {name}/{size}")
+        module = artifact.module
+        inputs = wl.random_inputs(seed)
+        plan_for(module)  # warm the plan cache
+        t0 = time.perf_counter()
+        (vec,) = FunctionalExecutor(module, mode="vector").run(inputs)
+        vector_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        (sca,) = FunctionalExecutor(module, mode="scalar").run(inputs)
+        scalar_s = time.perf_counter() - t0
+        rows.append(
+            {
+                "workload": name,
+                "size": size,
+                "scalar_s": scalar_s,
+                "vector_s": vector_s,
+                "speedup": scalar_s / vector_s,
+                "bit_identical": vec.tobytes() == sca.tobytes(),
+            }
+        )
+    return rows
 
 
 # ---------------------------------------------------------------------------

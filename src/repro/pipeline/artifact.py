@@ -35,7 +35,8 @@ __all__ = [
 #: (lowering, a §5.3 pass, the performance-relevant module layout) or the
 #: key payload itself changes shape, so a persistent disk tier never
 #: serves artifacts produced by older compiler code.
-CACHE_SCHEMA_VERSION = 2
+#: v3: int32 buffers are now actually int32 (were widened to int64).
+CACHE_SCHEMA_VERSION = 3
 
 
 def _tensor_signature(tensor: Any) -> tuple:
@@ -246,6 +247,15 @@ class ArtifactCache:
         return artifact
 
     def _remember(self, key: str, artifact: CompiledArtifact) -> None:
+        module = artifact.module
+        if module is not None and getattr(module, "plan_key", None) is None:
+            # Stamp the content hash on the lowered module so the
+            # vectorizer's compiled-plan cache (repro.upmem.vectorize)
+            # can key plans by it instead of by object identity.
+            try:
+                module.plan_key = artifact.key
+            except (AttributeError, TypeError):  # frozen/slotted stand-ins
+                pass
         self._mem[key] = artifact
         self._mem.move_to_end(key)
         while len(self._mem) > self.max_entries:

@@ -32,10 +32,14 @@ class Module:
         self,
         lowered: LoweredModule,
         config: Optional[UpmemConfig] = None,
+        sim_mode: Optional[str] = None,
     ) -> None:
         self.lowered = lowered
         self.config = config
-        self._executor = FunctionalExecutor(lowered)
+        #: ``None`` follows the ``REPRO_SIM_MODE`` env knob per call;
+        #: "vector" / "scalar" / "verify" pins this module's executor.
+        self.sim_mode = sim_mode
+        self._executor = FunctionalExecutor(lowered, mode=sim_mode)
         self._profile_cache: Dict[Optional[UpmemConfig], ProfileResult] = {}
 
     @property

@@ -1,7 +1,19 @@
 """UPMEM system substrate: functional executor and performance model."""
 
 from .config import DEFAULT_CONFIG, UpmemConfig
-from .executor import FunctionalExecutor
+from .executor import SIM_MODES, FunctionalExecutor, VerifyMismatch, sim_mode
 from .interp import Interpreter
+from .vectorize import KernelPlan, VectorizeError, plan_for
 
-__all__ = ["UpmemConfig", "DEFAULT_CONFIG", "FunctionalExecutor", "Interpreter"]
+__all__ = [
+    "UpmemConfig",
+    "DEFAULT_CONFIG",
+    "FunctionalExecutor",
+    "Interpreter",
+    "VerifyMismatch",
+    "sim_mode",
+    "SIM_MODES",
+    "KernelPlan",
+    "VectorizeError",
+    "plan_for",
+]

@@ -1,15 +1,30 @@
 """Functional execution of lowered modules on the simulated UPMEM system.
 
 Runs the full offload sequence per DPU — H2D tile copies, kernel
-interpretation, D2H copies — followed by the host post-processing
-statements, against numpy buffers.  This validates the entire compiler
-(schedules, boundary checks, caching, address calculation, transfers,
-hierarchical reduction) end to end.
+execution, D2H copies — followed by the host post-processing statements,
+against numpy buffers.  This validates the entire compiler (schedules,
+boundary checks, caching, address calculation, transfers, hierarchical
+reduction) end to end.
+
+Three execution modes, selected by the ``REPRO_SIM_MODE`` environment
+variable or a per-executor override:
+
+``vector`` (default)
+    The TIR->NumPy compiled plan from :mod:`repro.upmem.vectorize`:
+    all grid points of a chunk execute as one batched lane axis.
+``scalar``
+    The reference :class:`~repro.upmem.interp.Interpreter`, walking the
+    AST point by point.
+``verify``
+    Runs *both* paths and asserts their outputs are identical down to
+    the last bit (the equivalence gate); raises :class:`VerifyMismatch`
+    otherwise.  Results returned are the vector path's.
 """
 
 from __future__ import annotations
 
 import itertools
+import os
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -18,7 +33,24 @@ from ..lowering import LoweredModule, TransferSpec
 from ..tir import Buffer, Var
 from .interp import Interpreter, _np_dtype
 
-__all__ = ["FunctionalExecutor"]
+__all__ = ["FunctionalExecutor", "VerifyMismatch", "sim_mode", "SIM_MODES"]
+
+SIM_MODES = ("vector", "scalar", "verify")
+
+
+class VerifyMismatch(AssertionError):
+    """The vector and scalar paths disagreed on output bytes."""
+
+
+def sim_mode(override: Optional[str] = None) -> str:
+    """Resolve the functional-simulation mode (env knob, default vector)."""
+    mode = override or os.environ.get("REPRO_SIM_MODE", "vector")
+    mode = mode.strip().lower()
+    if mode not in SIM_MODES:
+        raise ValueError(
+            f"REPRO_SIM_MODE must be one of {SIM_MODES}, got {mode!r}"
+        )
+    return mode
 
 
 class FunctionalExecutor:
@@ -33,8 +65,26 @@ class FunctionalExecutor:
     order-independent.  :meth:`run` composes the three sequentially.
     """
 
-    def __init__(self, module: LoweredModule) -> None:
+    def __init__(
+        self, module: LoweredModule, mode: Optional[str] = None
+    ) -> None:
         self.module = module
+        self.mode = mode  # None -> read REPRO_SIM_MODE per phase
+        self._grid_points: Optional[List[tuple]] = None
+
+    # -- mode plumbing ------------------------------------------------------
+    def _mode(self) -> str:
+        return sim_mode(self.mode)
+
+    def _plan(self):
+        from .vectorize import plan_for
+
+        return plan_for(self.module)
+
+    def _host_program(self, which: str):
+        from .vectorize import host_program_for
+
+        return host_program_for(self.module, which)
 
     def prepare(self, inputs: Dict[str, np.ndarray]) -> Dict[Buffer, np.ndarray]:
         """Bind named inputs, allocate outputs, run the host preamble."""
@@ -58,15 +108,35 @@ class FunctionalExecutor:
         for buf in module.outputs + module.intermediates:
             arrays.setdefault(buf, np.zeros(buf.shape, _np_dtype(buf)))
 
-        host = Interpreter(arrays)
+        mode = self._mode()
+        if not module.host_pre:
+            return arrays
+        if mode == "scalar":
+            host = Interpreter(arrays)
+            for stmt in module.host_pre:
+                host.run(stmt, {})
+            return arrays
+        if mode == "vector":
+            self._host_program("pre").run(arrays)
+            return arrays
+        # verify: run the compiled program for real, the interpreter on
+        # copies, and compare every buffer bitwise.
+        shadow = {buf: arr.copy() for buf, arr in arrays.items()}
+        self._host_program("pre").run(arrays)
+        host = Interpreter(shadow)
         for stmt in module.host_pre:
             host.run(stmt, {})
+        _compare_buffers(arrays, shadow, "host_pre")
         return arrays
 
     def grid_points(self) -> List[tuple]:
         """All DPU grid coordinates in canonical (row-major) order."""
-        extents = [dim.extent for dim in self.module.grid]
-        return list(itertools.product(*[range(e) for e in extents]))
+        if self._grid_points is None:
+            extents = [dim.extent for dim in self.module.grid]
+            self._grid_points = list(
+                itertools.product(*[range(e) for e in extents])
+            )
+        return self._grid_points
 
     def run_points(
         self,
@@ -74,17 +144,33 @@ class FunctionalExecutor:
         points: Sequence[tuple],
     ) -> None:
         """Simulate the given DPU grid points against shared arrays."""
-        grid_vars = self.module.grid_vars()
-        for point in points:
-            env: Dict[Var, int] = dict(zip(grid_vars, point))
-            self._run_dpu(arrays, env)
+        mode = self._mode()
+        if mode == "scalar":
+            self._run_points_scalar(arrays, points)
+            return
+        if mode == "vector":
+            self._plan().run_points(arrays, points)
+            return
+        self._run_points_verify(arrays, points)
 
     def finalize(self, arrays: Dict[Buffer, np.ndarray]) -> List[np.ndarray]:
         """Run host post-processing; returns the output arrays."""
         module = self.module
-        host = Interpreter(arrays)
-        for stmt in module.host_post:
-            host.run(stmt, {})
+        mode = self._mode()
+        if module.host_post:
+            if mode == "scalar":
+                host = Interpreter(arrays)
+                for stmt in module.host_post:
+                    host.run(stmt, {})
+            elif mode == "vector":
+                self._host_program("post").run(arrays)
+            else:
+                shadow = {buf: arr.copy() for buf, arr in arrays.items()}
+                self._host_program("post").run(arrays)
+                host = Interpreter(shadow)
+                for stmt in module.host_post:
+                    host.run(stmt, {})
+                _compare_buffers(arrays, shadow, "host_post")
         return [arrays[buf] for buf in module.outputs]
 
     def run(self, inputs: Dict[str, np.ndarray]) -> List[np.ndarray]:
@@ -93,11 +179,38 @@ class FunctionalExecutor:
         self.run_points(arrays, self.grid_points())
         return self.finalize(arrays)
 
-    # -- one DPU ------------------------------------------------------------
-    def _run_dpu(self, global_arrays: Dict[Buffer, np.ndarray], env: Dict[Var, int]):
+    # -- scalar reference path ----------------------------------------------
+    def _run_points_scalar(
+        self,
+        arrays: Dict[Buffer, np.ndarray],
+        points: Sequence[tuple],
+    ) -> None:
         module = self.module
-        local: Dict[Buffer, np.ndarray] = dict(global_arrays)
+        grid_vars = module.grid_vars()
+        # One shared local store and Interpreter for the whole shard:
+        # global entries alias the shared arrays, per-DPU tiles are
+        # re-bound (fresh) for every point below.
+        local: Dict[Buffer, np.ndarray] = dict(arrays)
         interp = Interpreter(local)
+        baseline = None
+        for point in points:
+            env: Dict[Var, int] = dict(zip(grid_vars, point))
+            self._run_dpu(arrays, local, interp, env)
+            if baseline is None:
+                baseline = set(local)
+            elif len(local) != len(baseline):
+                # Kernel-side Allocate: drop so the next point re-zeros.
+                for buf in set(local) - baseline:
+                    del local[buf]
+
+    def _run_dpu(
+        self,
+        global_arrays: Dict[Buffer, np.ndarray],
+        local: Dict[Buffer, np.ndarray],
+        interp: Interpreter,
+        env: Dict[Var, int],
+    ) -> None:
+        module = self.module
 
         # H2D: fill MRAM tiles from the valid global region, zero-pad the
         # rest (local padding, §5.3.1).
@@ -132,6 +245,44 @@ class FunctionalExecutor:
                 src_slices = tuple(slice(0, v) for v in valid)
                 dst[dst_slices] = tile[src_slices]
 
+    # -- equivalence gate ----------------------------------------------------
+    def _run_points_verify(
+        self,
+        arrays: Dict[Buffer, np.ndarray],
+        points: Sequence[tuple],
+    ) -> None:
+        """Run both paths; compare this shard's D2H regions bitwise.
+
+        Only the regions written by *these* points are compared — under
+        ``run_batch`` other threads own the rest of the output arrays.
+        """
+        points = list(points)
+        module = self.module
+        d2h = module.transfer("d2h")
+        shadow = dict(arrays)
+        for spec in d2h:
+            shadow[spec.global_buffer] = arrays[spec.global_buffer].copy()
+        self._plan().run_points(arrays, points)
+        self._run_points_scalar(shadow, points)
+        probe = Interpreter({})
+        grid_vars = module.grid_vars()
+        for point in points:
+            env = dict(zip(grid_vars, point))
+            for spec in d2h:
+                base, valid = self._valid_region(spec, probe, env)
+                if not all(v > 0 for v in valid):
+                    continue
+                region = tuple(
+                    slice(b, b + v) for b, v in zip(base, valid)
+                )
+                got = arrays[spec.global_buffer][region]
+                want = shadow[spec.global_buffer][region]
+                if got.tobytes() != want.tobytes():
+                    raise VerifyMismatch(
+                        f"vector/scalar mismatch in {spec.global_buffer.name}"
+                        f" at grid point {point}"
+                    )
+
     @staticmethod
     def _valid_region(
         spec: TransferSpec, interp: Interpreter, env: Dict[Var, int]
@@ -142,3 +293,16 @@ class FunctionalExecutor:
             for b, ext, dim in zip(base, spec.shape, spec.global_buffer.shape)
         ]
         return base, valid
+
+
+def _compare_buffers(
+    got: Dict[Buffer, np.ndarray],
+    want: Dict[Buffer, np.ndarray],
+    phase: str,
+) -> None:
+    for buf, arr in want.items():
+        other = got.get(buf)
+        if other is None or other.tobytes() != arr.tobytes():
+            raise VerifyMismatch(
+                f"vector/scalar mismatch in {buf.name} after {phase}"
+            )

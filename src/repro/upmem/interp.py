@@ -1,13 +1,17 @@
 """A scalar TIR interpreter used for functional validation.
 
 Interprets lowered host/kernel statements against numpy-backed buffers.
-It is intentionally simple (and slow): correctness tests run it on small
-shapes to validate the whole compilation pipeline; timing comes from the
-analytical walker in :mod:`repro.upmem.analyzer` instead.
+It is intentionally simple (and slow) and defines the *reference
+semantics*: the vectorized compiler in :mod:`repro.upmem.vectorize` must
+match it bit for bit, and falls back to it for out-of-model constructs.
+Dispatch is a type-keyed table rather than an ``isinstance`` ladder so
+the fallback path stays reasonably fast.
 """
 
 from __future__ import annotations
 
+import math
+import operator
 from typing import Dict
 
 import numpy as np
@@ -21,7 +25,6 @@ from ..tir import (
     BufferStore,
     Call,
     Cast,
-    CmpOp,
     DmaCopy,
     EQ,
     Evaluate,
@@ -56,120 +59,168 @@ class InterpError(RuntimeError):
     """Raised on out-of-model constructs or out-of-bounds accesses."""
 
 
+#: Scalar intrinsics; shared with the vectorizer's scalar subexpressions.
+_INTRINSICS = {"exp": math.exp, "sqrt": math.sqrt, "abs": abs}
+
+
+# -- expression dispatch ----------------------------------------------------
+
+def _ev_imm(self, expr, env):
+    return expr.value
+
+
+def _ev_var(self, expr, env):
+    try:
+        return env[expr]
+    except KeyError:
+        raise InterpError(f"unbound variable {expr.name}") from None
+
+
+def _binop(op):
+    def ev(self, expr, env):
+        return op(self.eval(expr.a, env), self.eval(expr.b, env))
+
+    return ev
+
+
+def _ev_and(self, expr, env):
+    return bool(self.eval(expr.a, env)) and bool(self.eval(expr.b, env))
+
+
+def _ev_or(self, expr, env):
+    return bool(self.eval(expr.a, env)) or bool(self.eval(expr.b, env))
+
+
+def _ev_not(self, expr, env):
+    return not self.eval(expr.a, env)
+
+
+def _ev_select(self, expr, env):
+    if self.eval(expr.cond, env):
+        return self.eval(expr.true_value, env)
+    return self.eval(expr.false_value, env)
+
+
+def _ev_load(self, expr, env):
+    arr = self._array(expr.buffer)
+    idx = tuple(int(self.eval(i, env)) for i in expr.indices)
+    self._check(expr.buffer, idx)
+    return arr[idx]
+
+
+def _ev_cast(self, expr, env):
+    value = self.eval(expr.value, env)
+    if expr.dtype.startswith("int"):
+        return int(value)
+    return float(value)
+
+
+def _ev_call(self, expr, env):
+    args = [self.eval(a, env) for a in expr.args]
+    fn = _INTRINSICS.get(expr.op)
+    if fn is None:
+        raise InterpError(f"unknown intrinsic {expr.op!r}")
+    return fn(*args)
+
+
+_EVAL = {
+    IntImm: _ev_imm,
+    FloatImm: _ev_imm,
+    Var: _ev_var,
+    Add: _binop(operator.add),
+    Sub: _binop(operator.sub),
+    Mul: _binop(operator.mul),
+    FloorDiv: _binop(operator.floordiv),
+    FloorMod: _binop(operator.mod),
+    Min: _binop(min),
+    Max: _binop(max),
+    LT: _binop(operator.lt),
+    LE: _binop(operator.le),
+    GT: _binop(operator.gt),
+    GE: _binop(operator.ge),
+    EQ: _binop(operator.eq),
+    NE: _binop(operator.ne),
+    And: _ev_and,
+    Or: _ev_or,
+    Not: _ev_not,
+    Select: _ev_select,
+    BufferLoad: _ev_load,
+    Cast: _ev_cast,
+    Call: _ev_call,
+}
+
+
+# -- statement dispatch -----------------------------------------------------
+
+def _ex_seq(self, stmt, env):
+    for s in stmt.stmts:
+        self.run(s, env)
+
+
+def _ex_for(self, stmt, env):
+    extent = int(self.eval(stmt.extent, env))
+    var, body, run = stmt.var, stmt.body, self.run
+    for value in range(extent):
+        env[var] = value
+        run(body, env)
+    env.pop(var, None)
+
+
+def _ex_if(self, stmt, env):
+    if self.eval(stmt.condition, env):
+        self.run(stmt.then_case, env)
+    elif stmt.else_case is not None:
+        self.run(stmt.else_case, env)
+
+
+def _ex_store(self, stmt, env):
+    arr = self._array(stmt.buffer)
+    idx = tuple(int(self.eval(i, env)) for i in stmt.indices)
+    self._check(stmt.buffer, idx)
+    arr[idx] = self.eval(stmt.value, env)
+
+
+def _ex_alloc(self, stmt, env):
+    self.arrays.setdefault(
+        stmt.buffer, np.zeros(stmt.buffer.shape, _np_dtype(stmt.buffer))
+    )
+    self.run(stmt.body, env)
+
+
+def _ex_eval(self, stmt, env):
+    if stmt.call.op == "barrier":
+        return  # tasklets are interpreted serially
+    self.eval(stmt.call, env)
+
+
 class Interpreter:
     """Executes statements over a ``Buffer -> np.ndarray`` store."""
 
     def __init__(self, arrays: Dict[Buffer, np.ndarray]) -> None:
         self.arrays = arrays
 
-    # -- expressions ---------------------------------------------------------
+    # -- expressions --------------------------------------------------------
     def eval(self, expr: PrimExpr, env: Dict[Var, int]):
-        if isinstance(expr, IntImm):
-            return expr.value
-        if isinstance(expr, FloatImm):
-            return expr.value
-        if isinstance(expr, Var):
-            try:
-                return env[expr]
-            except KeyError:
-                raise InterpError(f"unbound variable {expr.name}") from None
-        if isinstance(expr, Add):
-            return self.eval(expr.a, env) + self.eval(expr.b, env)
-        if isinstance(expr, Sub):
-            return self.eval(expr.a, env) - self.eval(expr.b, env)
-        if isinstance(expr, Mul):
-            return self.eval(expr.a, env) * self.eval(expr.b, env)
-        if isinstance(expr, FloorDiv):
-            return self.eval(expr.a, env) // self.eval(expr.b, env)
-        if isinstance(expr, FloorMod):
-            return self.eval(expr.a, env) % self.eval(expr.b, env)
-        if isinstance(expr, Min):
-            return min(self.eval(expr.a, env), self.eval(expr.b, env))
-        if isinstance(expr, Max):
-            return max(self.eval(expr.a, env), self.eval(expr.b, env))
-        if isinstance(expr, CmpOp):
-            a = self.eval(expr.a, env)
-            b = self.eval(expr.b, env)
-            if isinstance(expr, LT):
-                return a < b
-            if isinstance(expr, LE):
-                return a <= b
-            if isinstance(expr, GT):
-                return a > b
-            if isinstance(expr, GE):
-                return a >= b
-            if isinstance(expr, EQ):
-                return a == b
-            if isinstance(expr, NE):
-                return a != b
-        if isinstance(expr, And):
-            return bool(self.eval(expr.a, env)) and bool(self.eval(expr.b, env))
-        if isinstance(expr, Or):
-            return bool(self.eval(expr.a, env)) or bool(self.eval(expr.b, env))
-        if isinstance(expr, Not):
-            return not self.eval(expr.a, env)
-        if isinstance(expr, Select):
-            if self.eval(expr.cond, env):
-                return self.eval(expr.true_value, env)
-            return self.eval(expr.false_value, env)
-        if isinstance(expr, BufferLoad):
-            arr = self._array(expr.buffer)
-            idx = tuple(int(self.eval(i, env)) for i in expr.indices)
-            self._check(expr.buffer, idx)
-            return arr[idx]
-        if isinstance(expr, Cast):
-            value = self.eval(expr.value, env)
-            if expr.dtype.startswith("int"):
-                return int(value)
-            return float(value)
-        if isinstance(expr, Call):
-            return self._call(expr, env)
-        raise InterpError(f"cannot evaluate {type(expr).__name__}")
+        try:
+            fn = _EVAL[type(expr)]
+        except KeyError:
+            raise InterpError(
+                f"cannot evaluate {type(expr).__name__}"
+            ) from None
+        return fn(self, expr, env)
 
     def _call(self, expr: Call, env):
-        args = [self.eval(a, env) for a in expr.args]
-        import math
-
-        table = {"exp": math.exp, "sqrt": math.sqrt, "abs": abs}
-        fn = table.get(expr.op)
-        if fn is None:
-            raise InterpError(f"unknown intrinsic {expr.op!r}")
-        return fn(*args)
+        return _ev_call(self, expr, env)
 
     # -- statements ---------------------------------------------------------
     def run(self, stmt: Stmt, env: Dict[Var, int]) -> None:
-        if isinstance(stmt, SeqStmt):
-            for s in stmt.stmts:
-                self.run(s, env)
-        elif isinstance(stmt, For):
-            extent = int(self.eval(stmt.extent, env))
-            for value in range(extent):
-                env[stmt.var] = value
-                self.run(stmt.body, env)
-            env.pop(stmt.var, None)
-        elif isinstance(stmt, IfThenElse):
-            if self.eval(stmt.condition, env):
-                self.run(stmt.then_case, env)
-            elif stmt.else_case is not None:
-                self.run(stmt.else_case, env)
-        elif isinstance(stmt, BufferStore):
-            arr = self._array(stmt.buffer)
-            idx = tuple(int(self.eval(i, env)) for i in stmt.indices)
-            self._check(stmt.buffer, idx)
-            arr[idx] = self.eval(stmt.value, env)
-        elif isinstance(stmt, DmaCopy):
-            self._dma(stmt, env)
-        elif isinstance(stmt, Allocate):
-            self.arrays.setdefault(
-                stmt.buffer, np.zeros(stmt.buffer.shape, _np_dtype(stmt.buffer))
-            )
-            self.run(stmt.body, env)
-        elif isinstance(stmt, Evaluate):
-            if stmt.call.op == "barrier":
-                return  # tasklets are interpreted serially
-            self.eval(stmt.call, env)
-        else:
-            raise InterpError(f"cannot execute {type(stmt).__name__}")
+        try:
+            fn = _EXEC[type(stmt)]
+        except KeyError:
+            raise InterpError(
+                f"cannot execute {type(stmt).__name__}"
+            ) from None
+        fn(self, stmt, env)
 
     def _dma(self, stmt: DmaCopy, env) -> None:
         dst = self._array(stmt.dst)
@@ -189,7 +240,7 @@ class Interpreter:
             raise InterpError("DMA base outside buffer")
         dst_flat[doff : doff + n_eff] = src_flat[soff : soff + n_eff]
 
-    # -- helpers ---------------------------------------------------------------
+    # -- helpers -------------------------------------------------------------
     def _array(self, buffer: Buffer) -> np.ndarray:
         arr = self.arrays.get(buffer)
         if arr is None:
@@ -205,6 +256,25 @@ class Interpreter:
                 )
 
 
+_EXEC = {
+    SeqStmt: _ex_seq,
+    For: _ex_for,
+    IfThenElse: _ex_if,
+    BufferStore: _ex_store,
+    DmaCopy: Interpreter._dma,
+    Allocate: _ex_alloc,
+    Evaluate: _ex_eval,
+}
+
+
+_NP_DTYPES = {
+    "float32": np.float32,
+    "float64": np.float64,
+    "int32": np.int32,
+    "int64": np.int64,
+    "bool": np.bool_,
+}
+
+
 def _np_dtype(buffer: Buffer):
-    return {"float32": np.float32, "float64": np.float64, "int32": np.int64,
-            "int64": np.int64, "bool": np.bool_}.get(buffer.dtype, np.float32)
+    return _NP_DTYPES.get(buffer.dtype, np.float32)

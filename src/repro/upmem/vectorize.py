@@ -1,0 +1,1391 @@
+"""TIR -> NumPy compiler: vectorized functional execution of lowered modules.
+
+Compiles a :class:`LoweredModule`'s kernel and host statements *once* into
+a tree of closure-based ops that execute all DPU grid points of a chunk as
+one batched "lane" axis — one lane per grid point — instead of re-walking
+the AST per point.  Inner ``For`` loops over affine buffer indices are
+further vectorized across the loop axis (sequential ``np.add.accumulate``
+for reductions, injective scatter for maps), and ``DmaCopy`` becomes a
+flat slice copy over all lanes at once.
+
+The compiled program is **bit-for-bit identical** to the scalar
+:class:`~repro.upmem.interp.Interpreter` reference semantics:
+
+* float arithmetic batches elementwise ops whose operand/result dtypes
+  match the scalar path exactly (NEP 50 makes ``np.float32`` scalars and
+  float32 arrays behave identically against Python scalars);
+* reductions use ``np.add.accumulate``, which is strictly sequential —
+  the same left fold as the scalar loop (``np.sum``/``einsum`` pairwise
+  summation would *not* be bit-identical and is deliberately avoided);
+* ``sqrt`` upcasts to float64 first (``math.sqrt`` semantics), ``exp``
+  routes through ``math.exp`` per element (``np.exp`` differs in ulps);
+* anything out of model falls back, per statement subtree, to the scalar
+  ``Interpreter`` run lane by lane (identical by construction).
+
+Tasklet loops are executed as ordinary serial loops over batched lanes:
+tasklets on one DPU may legally overlap in their padded DMA writebacks,
+so their relative order is preserved exactly as the scalar interpreter
+runs them.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import threading
+from collections import OrderedDict
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+import weakref
+
+import numpy as np
+
+from ..lowering import LoweredModule, TransferSpec
+from ..tir import (
+    Add,
+    Allocate,
+    And,
+    BinaryOp,
+    Buffer,
+    BufferLoad,
+    BufferStore,
+    Call,
+    Cast,
+    CmpOp,
+    DmaCopy,
+    Evaluate,
+    FloatImm,
+    For,
+    IfThenElse,
+    IntImm,
+    Max,
+    Min,
+    Mul,
+    Not,
+    Or,
+    PrimExpr,
+    Select,
+    SeqStmt,
+    Stmt,
+    Sub,
+    Var,
+    collect_loads,
+    collect_vars,
+)
+from .interp import _INTRINSICS, InterpError, Interpreter, _np_dtype
+
+__all__ = [
+    "VectorizeError",
+    "KernelPlan",
+    "HostProgram",
+    "plan_for",
+    "host_program_for",
+]
+
+
+class VectorizeError(Exception):
+    """A construct outside the vectorizer's model (triggers fallback)."""
+
+
+# Dependence flags of a compiled expression: which batch axes its runtime
+# value varies along.  0 means a plain Python/numpy scalar.
+LANE = 1  # varies per lane (grid point / host lane-loop iteration)
+AXIS = 2  # varies along the vectorized inner-loop axis
+
+_BIG_PY_OPS = {
+    Add: lambda a, b: a + b,
+    Sub: lambda a, b: a - b,
+    Mul: lambda a, b: a * b,
+}
+
+# ``exp`` must match math.exp per element; np.exp differs in the last ulp.
+_VEXP = np.frompyfunc(math.exp, 1, 1)
+
+
+def _contains_var(expr: PrimExpr, var: Var) -> bool:
+    return var in collect_vars(expr)
+
+
+def _loads_buffer(expr: PrimExpr, buffer: Buffer) -> bool:
+    return any(ld.buffer is buffer for ld in collect_loads(expr))
+
+
+def _affine_coeff(expr: PrimExpr, var: Var) -> Optional[int]:
+    """Constant integer coefficient of ``var`` in ``expr`` (None: non-affine)."""
+    if expr is var:
+        return 1
+    if not _contains_var(expr, var):
+        return 0
+    if isinstance(expr, Add):
+        a, b = _affine_coeff(expr.a, var), _affine_coeff(expr.b, var)
+        return None if a is None or b is None else a + b
+    if isinstance(expr, Sub):
+        a, b = _affine_coeff(expr.a, var), _affine_coeff(expr.b, var)
+        return None if a is None or b is None else a - b
+    if isinstance(expr, Mul):
+        if isinstance(expr.a, IntImm):
+            c = _affine_coeff(expr.b, var)
+            return None if c is None else c * expr.a.value
+        if isinstance(expr.b, IntImm):
+            c = _affine_coeff(expr.a, var)
+            return None if c is None else c * expr.b.value
+        return None
+    return None
+
+
+def _expr_eq(a: PrimExpr, b: PrimExpr) -> bool:
+    """Structural equality (Vars compare by identity, like the IR)."""
+    if a is b:
+        return True
+    if type(a) is not type(b):
+        return False
+    if isinstance(a, (IntImm, FloatImm)):
+        return a.value == b.value and a.dtype == b.dtype
+    if isinstance(a, Var):
+        return False
+    if isinstance(a, (BinaryOp, CmpOp, And, Or)):
+        return _expr_eq(a.a, b.a) and _expr_eq(a.b, b.b)
+    if isinstance(a, Not):
+        return _expr_eq(a.a, b.a)
+    if isinstance(a, Select):
+        return (
+            _expr_eq(a.cond, b.cond)
+            and _expr_eq(a.true_value, b.true_value)
+            and _expr_eq(a.false_value, b.false_value)
+        )
+    if isinstance(a, BufferLoad):
+        return (
+            a.buffer is b.buffer
+            and len(a.indices) == len(b.indices)
+            and all(_expr_eq(x, y) for x, y in zip(a.indices, b.indices))
+        )
+    if isinstance(a, Cast):
+        return a.dtype == b.dtype and _expr_eq(a.value, b.value)
+    if isinstance(a, Call):
+        return (
+            a.op == b.op
+            and len(a.args) == len(b.args)
+            and all(_expr_eq(x, y) for x, y in zip(a.args, b.args))
+        )
+    return False
+
+
+class _Ctx:
+    """Runtime state of one batched execution (one lane chunk)."""
+
+    __slots__ = (
+        "plan",
+        "bufs",
+        "env",
+        "mask",
+        "lanes",
+        "lane_vals",
+        "L",
+        "axis_k",
+        "vmask",
+    )
+
+    def __init__(self, plan, bufs, lane_vals, L):
+        self.plan = plan
+        self.bufs = bufs  # Buffer -> ndarray (batched arrays lead with L)
+        self.env: Dict[Var, int] = {}  # serial loop variables (scalars)
+        self.mask = None  # (L,) bool of active lanes, or None == all
+        self.lanes = np.arange(L)
+        self.lane_vals = lane_vals  # Var -> (L,) int64
+        self.L = L
+        self.axis_k = None  # arange(n) while inside a vectorized axis op
+        self.vmask = None  # validity mask of axis positions, or None
+
+    def get_array(self, buffer: Buffer) -> np.ndarray:
+        arr = self.bufs.get(buffer)
+        if arr is None:
+            shape = buffer.shape
+            if buffer in self.plan.batched:
+                shape = (self.L,) + tuple(shape)
+            arr = np.zeros(shape, _np_dtype(buffer))
+            self.bufs[buffer] = arr
+        return arr
+
+
+def _check_scalar_index(buffer: Buffer, d: int, i) -> int:
+    i = int(i)
+    if i < 0 or i >= buffer.shape[d]:
+        raise InterpError(f"index {i} out of bounds for {buffer!r}")
+    return i
+
+
+def _check_array_index(ctx: _Ctx, buffer: Buffer, d: int, i: np.ndarray):
+    """Bounds-check an index array; clip inactive/invalid positions."""
+    dim = buffer.shape[d]
+    bad = (i < 0) | (i >= dim)
+    if bad.any():
+        if ctx.mask is not None:
+            if i.ndim == 2:
+                bad = bad & ctx.mask[:, None]
+            else:
+                bad = bad & ctx.mask
+        if ctx.vmask is not None:
+            bad = bad & ctx.vmask
+        if bad.any():
+            raise InterpError(f"index out of bounds for {buffer!r}")
+        return np.clip(i, 0, dim - 1)
+    return i
+
+
+class _ExprCompiler:
+    """Compiles a PrimExpr to ``(fn(ctx) -> value, dep_flags)``.
+
+    ``dep == 0`` subtrees evaluate with plain Python semantics — exactly
+    the scalar interpreter.  Batched subtrees evaluate with numpy ufuncs
+    whose elementwise results are bitwise identical to the scalar ops.
+    In *axis mode* (``axis_var`` set), lane-dependent values carry shape
+    ``(L, 1)`` and axis-dependent values ``(n,)`` so they broadcast to
+    ``(L, n)``.
+    """
+
+    def __init__(self, plan, axis_var: Optional[Var] = None):
+        self.plan = plan
+        self.axis_var = axis_var
+
+    def compile(self, e: PrimExpr) -> Tuple[Callable, int]:
+        if isinstance(e, IntImm):
+            v = e.value
+            return (lambda ctx: v), 0
+        if isinstance(e, FloatImm):
+            v = e.value
+            return (lambda ctx: v), 0
+        if isinstance(e, Var):
+            return self._var(e)
+        if isinstance(e, Min) or isinstance(e, Max):
+            return self._minmax(e)
+        if isinstance(e, And):
+            return self._and_or(e, is_and=True)
+        if isinstance(e, Or):
+            return self._and_or(e, is_and=False)
+        if isinstance(e, (BinaryOp, CmpOp)):
+            return self._binary(e)
+        if isinstance(e, Not):
+            a, da = self.compile(e.a)
+            if da == 0:
+                return (lambda ctx: not a(ctx)), 0
+            return (lambda ctx: np.logical_not(a(ctx))), da
+        if isinstance(e, Select):
+            return self._select(e)
+        if isinstance(e, BufferLoad):
+            return self._load(e)
+        if isinstance(e, Cast):
+            return self._cast(e)
+        if isinstance(e, Call):
+            return self._call(e)
+        raise VectorizeError(f"cannot vectorize {type(e).__name__}")
+
+    # -- leaves -------------------------------------------------------------
+    def _var(self, e: Var) -> Tuple[Callable, int]:
+        if self.axis_var is not None and e is self.axis_var:
+            return (lambda ctx: ctx.axis_k), AXIS
+        if e in self.plan.lane_vars:
+            if self.axis_var is not None:
+                return (lambda ctx: ctx.lane_vals[e][:, None]), LANE
+            return (lambda ctx: ctx.lane_vals[e]), LANE
+
+        def fn(ctx):
+            try:
+                return ctx.env[e]
+            except KeyError:
+                raise InterpError(f"unbound variable {e.name}") from None
+
+        return fn, 0
+
+    # -- arithmetic ---------------------------------------------------------
+    def _binary(self, e) -> Tuple[Callable, int]:
+        a, da = self.compile(e.a)
+        b, db = self.compile(e.b)
+        dep = da | db
+        op = _BINOPS[type(e)]
+        return (lambda ctx: op(a(ctx), b(ctx))), dep
+
+    def _minmax(self, e) -> Tuple[Callable, int]:
+        a, da = self.compile(e.a)
+        b, db = self.compile(e.b)
+        dep = da | db
+        if dep == 0:
+            fn = min if isinstance(e, Min) else max
+            return (lambda ctx: fn(a(ctx), b(ctx))), 0
+        ufn = np.minimum if isinstance(e, Min) else np.maximum
+        return (lambda ctx: ufn(a(ctx), b(ctx))), dep
+
+    def _and_or(self, e, is_and: bool) -> Tuple[Callable, int]:
+        a, da = self.compile(e.a)
+        b, db = self.compile(e.b)
+        dep = da | db
+        if dep == 0:
+            if is_and:
+                return (lambda ctx: bool(a(ctx)) and bool(b(ctx))), 0
+            return (lambda ctx: bool(a(ctx)) or bool(b(ctx))), 0
+        ufn = np.logical_and if is_and else np.logical_or
+        return (lambda ctx: ufn(a(ctx), b(ctx))), dep
+
+    def _select(self, e: Select) -> Tuple[Callable, int]:
+        c, dc = self.compile(e.cond)
+        t, dt = self.compile(e.true_value)
+        f, df = self.compile(e.false_value)
+        if dc == 0:
+            # Lazy, like the scalar interpreter.
+            return (lambda ctx: t(ctx) if c(ctx) else f(ctx)), dt | df
+        return (lambda ctx: np.where(c(ctx), t(ctx), f(ctx))), dc | dt | df
+
+    def _cast(self, e: Cast) -> Tuple[Callable, int]:
+        v, dv = self.compile(e.value)
+        to_int = e.dtype.startswith("int")
+        if dv == 0:
+            # Scalar semantics: int()/float() — float() widens to float64.
+            if to_int:
+                return (lambda ctx: int(v(ctx))), 0
+            return (lambda ctx: float(v(ctx))), 0
+        if to_int:
+            return (lambda ctx: np.asarray(v(ctx)).astype(np.int64)), dv
+        return (lambda ctx: np.asarray(v(ctx)).astype(np.float64)), dv
+
+    def _call(self, e: Call) -> Tuple[Callable, int]:
+        fns = [self.compile(a) for a in e.args]
+        deps = 0
+        for _, d in fns:
+            deps |= d
+        if e.op not in _INTRINSICS:
+            raise VectorizeError(f"unknown intrinsic {e.op!r}")
+        if deps == 0:
+            sfn = _INTRINSICS[e.op]
+            args = [f for f, _ in fns]
+            return (lambda ctx: sfn(*[f(ctx) for f in args])), 0
+        (a0, _) = fns[0]
+        if e.op == "abs":
+            return (lambda ctx: np.abs(a0(ctx))), deps
+        if e.op == "sqrt":
+            # math.sqrt computes in float64 regardless of input width.
+            return (
+                lambda ctx: np.sqrt(np.asarray(a0(ctx)).astype(np.float64))
+            ), deps
+        if e.op == "exp":
+            return (
+                lambda ctx: _VEXP(a0(ctx)).astype(np.float64)
+            ), deps
+        raise VectorizeError(f"cannot batch intrinsic {e.op!r}")
+
+    # -- memory -------------------------------------------------------------
+    def _load(self, e: BufferLoad) -> Tuple[Callable, int]:
+        buffer = e.buffer
+        idx_fns = [self.compile(i) for i in e.indices]
+        idx_dep = 0
+        for _, d in idx_fns:
+            idx_dep |= d
+        batched = buffer in self.plan.batched
+        dep = (LANE | idx_dep) if batched else idx_dep
+        axis_mode = self.axis_var is not None
+        fns = [f for f, _ in idx_fns]
+
+        def fn(ctx):
+            arr = ctx.get_array(buffer)
+            idx = [f(ctx) for f in fns]
+            if batched:
+                if all(not isinstance(i, np.ndarray) for i in idx):
+                    sl = tuple(
+                        _check_scalar_index(buffer, d, i)
+                        for d, i in enumerate(idx)
+                    )
+                    v = arr[(slice(None),) + sl]
+                    if axis_mode:
+                        v = v[:, None]
+                    return v
+                rows = ctx.lanes[:, None] if axis_mode else ctx.lanes
+                full = tuple(
+                    _check_array_index(ctx, buffer, d, i)
+                    if isinstance(i, np.ndarray)
+                    else _check_scalar_index(buffer, d, i)
+                    for d, i in enumerate(idx)
+                )
+                return arr[(rows,) + full]
+            if all(not isinstance(i, np.ndarray) for i in idx):
+                sl = tuple(
+                    _check_scalar_index(buffer, d, i)
+                    for d, i in enumerate(idx)
+                )
+                return arr[sl]
+            full = tuple(
+                _check_array_index(ctx, buffer, d, i)
+                if isinstance(i, np.ndarray)
+                else _check_scalar_index(buffer, d, i)
+                for d, i in enumerate(idx)
+            )
+            return arr[full]
+
+        return fn, dep
+
+
+_BINOPS = {}
+
+
+def _init_binops():
+    import operator
+    from ..tir import EQ, GE, GT, LE, LT, NE, FloorDiv, FloorMod
+
+    _BINOPS.update(
+        {
+            Add: operator.add,
+            Sub: operator.sub,
+            Mul: operator.mul,
+            FloorDiv: operator.floordiv,
+            FloorMod: operator.mod,
+            LT: operator.lt,
+            LE: operator.le,
+            GT: operator.gt,
+            GE: operator.ge,
+            EQ: operator.eq,
+            NE: operator.ne,
+        }
+    )
+
+
+_init_binops()
+
+
+# ---------------------------------------------------------------------------
+# statement ops
+# ---------------------------------------------------------------------------
+
+
+class _SeqOp:
+    def __init__(self, ops):
+        self.ops = ops
+
+    def run(self, ctx):
+        for op in self.ops:
+            op.run(ctx)
+
+
+class _NoOp:
+    def run(self, ctx):
+        pass
+
+
+class _StoreOp:
+    def __init__(self, plan, stmt: BufferStore, ec: "_ExprCompiler"):
+        self.buffer = stmt.buffer
+        self.batched = stmt.buffer in plan.batched
+        if not self.batched and not plan.allow_shared_store:
+            raise VectorizeError("store to shared (non-batched) buffer")
+        self.vfn, _ = ec.compile(stmt.value)
+        self.idx_fns = [ec.compile(i)[0] for i in stmt.indices]
+
+    def run(self, ctx):
+        buffer = self.buffer
+        arr = ctx.get_array(buffer)
+        idx = [f(ctx) for f in self.idx_fns]
+        val = self.vfn(ctx)
+        if self.batched:
+            if all(not isinstance(i, np.ndarray) for i in idx):
+                sl = tuple(
+                    _check_scalar_index(buffer, d, i)
+                    for d, i in enumerate(idx)
+                )
+                view = arr[(slice(None),) + sl]
+                if ctx.mask is None:
+                    np.copyto(view, val, casting="unsafe")
+                else:
+                    np.copyto(view, val, where=ctx.mask, casting="unsafe")
+                return
+            rows = ctx.lanes
+            full = [
+                _check_array_index(ctx, buffer, d, i)
+                if isinstance(i, np.ndarray)
+                else _check_scalar_index(buffer, d, i)
+                for d, i in enumerate(idx)
+            ]
+            if ctx.mask is not None:
+                sel = ctx.mask
+                rows = rows[sel]
+                full = [i[sel] if isinstance(i, np.ndarray) else i for i in full]
+                if isinstance(val, np.ndarray):
+                    val = val[sel]
+            arr[(rows,) + tuple(full)] = val
+            return
+        # Shared buffer (host lane mode, pre-verified injective, or L == 1).
+        if all(not isinstance(i, np.ndarray) for i in idx):
+            sl = tuple(
+                _check_scalar_index(buffer, d, i) for d, i in enumerate(idx)
+            )
+            if ctx.mask is None:
+                arr[sl] = val if not isinstance(val, np.ndarray) else val[0]
+                return
+            sel = ctx.mask
+            if not sel.any():
+                return
+            v = val[sel][-1] if isinstance(val, np.ndarray) else val
+            arr[sl] = v
+            return
+        full = [
+            _check_array_index(ctx, buffer, d, i)
+            if isinstance(i, np.ndarray)
+            else _check_scalar_index(buffer, d, i)
+            for d, i in enumerate(idx)
+        ]
+        if ctx.mask is not None:
+            sel = ctx.mask
+            full = [i[sel] if isinstance(i, np.ndarray) else i for i in full]
+            if isinstance(val, np.ndarray):
+                val = val[sel]
+        arr[tuple(full)] = val
+
+
+class _IfOp:
+    def __init__(self, plan, stmt: IfThenElse, sc: "_StmtCompiler"):
+        self.cfn, self.cdep = sc.expr.compile(stmt.condition)
+        self.then_op = sc.compile(stmt.then_case)
+        self.else_op = (
+            sc.compile(stmt.else_case) if stmt.else_case is not None else None
+        )
+
+    def run(self, ctx):
+        c = self.cfn(ctx)
+        if self.cdep == 0:
+            if c:
+                self.then_op.run(ctx)
+            elif self.else_op is not None:
+                self.else_op.run(ctx)
+            return
+        c = np.asarray(c, dtype=bool)
+        old = ctx.mask
+        mt = c if old is None else (c & old)
+        try:
+            if mt.any():
+                ctx.mask = None if (old is None and mt.all()) else mt
+                self.then_op.run(ctx)
+            if self.else_op is not None:
+                mf = ~c if old is None else (~c & old)
+                if mf.any():
+                    ctx.mask = None if (old is None and mf.all()) else mf
+                    self.else_op.run(ctx)
+        finally:
+            ctx.mask = old
+
+
+class _ForOp:
+    def __init__(self, var, efn, edep, body_op):
+        self.var = var
+        self.efn = efn
+        self.edep = edep
+        self.body_op = body_op
+
+    def run(self, ctx):
+        ext = self.efn(ctx)
+        var, body = self.var, self.body_op
+        if self.edep == 0:
+            for i in range(int(ext)):
+                ctx.env[var] = i
+                body.run(ctx)
+            ctx.env.pop(var, None)
+            return
+        # Lane-dependent extent: iterate to the max, masking finished lanes.
+        ext = np.asarray(ext)
+        n = int(ext.max()) if ext.size else 0
+        old = ctx.mask
+        try:
+            for i in range(n):
+                active = ext > i
+                if old is None:
+                    ctx.mask = None if active.all() else active
+                else:
+                    m = active & old
+                    if not m.any():
+                        break
+                    ctx.mask = m
+                ctx.env[var] = i
+                body.run(ctx)
+        finally:
+            ctx.mask = old
+            ctx.env.pop(var, None)
+
+
+class _AllocOp:
+    def __init__(self, plan, stmt: Allocate, sc: "_StmtCompiler"):
+        self.buffer = stmt.buffer
+        if plan.kind == "lane":
+            # A temp shared by all lanes would be written concurrently.
+            raise VectorizeError("Allocate inside a lane-batched loop")
+        plan.batched_alloc(self.buffer)
+        self.body_op = sc.compile(stmt.body)
+
+    def run(self, ctx):
+        ctx.get_array(self.buffer)  # setdefault semantics
+        self.body_op.run(ctx)
+
+
+class _EvalOp:
+    def __init__(self, stmt: Evaluate):
+        if stmt.call.op != "barrier":
+            raise VectorizeError(f"side-effecting call {stmt.call.op!r}")
+
+    def run(self, ctx):
+        pass  # tasklets execute serially; a barrier is a no-op
+
+
+class _DmaOp:
+    def __init__(self, plan, stmt: DmaCopy, ec: "_ExprCompiler"):
+        self.dst, self.src = stmt.dst, stmt.src
+        self.dst_b = stmt.dst in plan.batched
+        self.src_b = stmt.src in plan.batched
+        if not self.dst_b and not plan.allow_shared_store:
+            raise VectorizeError("DMA into shared (non-batched) buffer")
+        self.n = stmt.size
+        self.dfns = [ec.compile(i) for i in stmt.dst_base]
+        self.sfns = [ec.compile(i) for i in stmt.src_base]
+
+    @staticmethod
+    def _offset(ctx, fns, shape):
+        """Flat element offset with per-dim clipping (ravel mode="clip")."""
+        off = 0
+        stride = 1
+        strides = []
+        for dim in reversed(shape):
+            strides.append(stride)
+            stride *= dim
+        strides.reverse()
+        for (f, dep), dim, s in zip(fns, shape, strides):
+            v = f(ctx)
+            if isinstance(v, np.ndarray):
+                v = np.clip(v, 0, dim - 1)
+            else:
+                v = min(max(int(v), 0), dim - 1)
+            off = off + v * s
+        return off
+
+    def run(self, ctx):
+        dst = ctx.get_array(self.dst)
+        src = ctx.get_array(self.src)
+        dsize, ssize = self.dst.size, self.src.size
+        doff = self._offset(ctx, self.dfns, self.dst.shape)
+        soff = self._offset(ctx, self.sfns, self.src.shape)
+        n = self.n
+        scalar = not isinstance(doff, np.ndarray) and not isinstance(
+            soff, np.ndarray
+        )
+        if scalar and ctx.mask is None:
+            n_eff = min(n, dsize - doff, ssize - soff)
+            if n_eff < 0:
+                raise InterpError("DMA base outside buffer")
+            if n_eff == 0:
+                return
+            if self.dst_b:
+                d2 = dst.reshape(ctx.L, dsize)
+                if self.src_b:
+                    s2 = src.reshape(ctx.L, ssize)
+                    d2[:, doff : doff + n_eff] = s2[:, soff : soff + n_eff]
+                else:
+                    s1 = src.reshape(ssize)
+                    d2[:, doff : doff + n_eff] = s1[soff : soff + n_eff]
+            else:
+                d1 = dst.reshape(dsize)
+                s1 = src.reshape(-1)[-ssize:] if not self.src_b else None
+                if self.src_b:
+                    # L == 1 shared-dst case
+                    s2 = src.reshape(ctx.L, ssize)
+                    d1[doff : doff + n_eff] = s2[0, soff : soff + n_eff]
+                else:
+                    d1[doff : doff + n_eff] = s1[soff : soff + n_eff]
+            return
+        # General path: per-lane offsets and/or an active-lane mask.
+        L = ctx.L
+        doff_a = np.broadcast_to(np.asarray(doff), (L,))
+        soff_a = np.broadcast_to(np.asarray(soff), (L,))
+        ne = np.minimum(n, np.minimum(dsize - doff_a, ssize - soff_a))
+        k = np.arange(n)
+        valid = k < ne[:, None]
+        if ctx.mask is not None:
+            valid = valid & ctx.mask[:, None]
+        if not valid.any():
+            return
+        didx = np.minimum(doff_a[:, None] + k, dsize - 1)
+        sidx = np.minimum(soff_a[:, None] + k, ssize - 1)
+        if self.src_b:
+            s2 = src.reshape(L, ssize)
+            svals = s2[ctx.lanes[:, None], sidx]
+        else:
+            svals = src.reshape(ssize)[sidx]
+        sel = valid
+        if self.dst_b:
+            d2 = dst.reshape(L, dsize)
+            rows = np.broadcast_to(ctx.lanes[:, None], sel.shape)
+            d2[rows[sel], didx[sel]] = np.broadcast_to(svals, sel.shape)[sel]
+        else:
+            d1 = dst.reshape(dsize)
+            d1[didx[sel]] = np.broadcast_to(svals, sel.shape)[sel]
+
+
+class _FallbackOp:
+    """Runs one statement subtree through the scalar Interpreter, per lane."""
+
+    def __init__(self, plan, stmt: Stmt):
+        self.plan = plan
+        self.stmt = stmt
+        plan.fallbacks.append(stmt)
+
+    def run(self, ctx):
+        plan = self.plan
+        if plan.kind == "single":
+            env = dict(ctx.env)
+            Interpreter(ctx.bufs).run(self.stmt, env)
+            return
+        mask = ctx.mask
+        batched = plan.batched
+        for lane in range(ctx.L):
+            if mask is not None and not mask[lane]:
+                continue
+            local = {
+                buf: (arr[lane] if buf in batched else arr)
+                for buf, arr in ctx.bufs.items()
+            }
+            env: Dict[Var, int] = {
+                v: int(vals[lane]) for v, vals in ctx.lane_vals.items()
+            }
+            env.update(ctx.env)
+            Interpreter(local).run(self.stmt, env)
+
+
+class _VecReduceOp:
+    """``for k in extent: T[i] = T[i] + rest(k)`` as one sequential scan.
+
+    ``np.add.accumulate`` is a strict left fold, so the partial sums match
+    the scalar loop bit for bit.  Lane-dependent extents gather the prefix
+    at each lane's own trip count.  Falls back to the generic masked loop
+    when an enclosing mask is active or the value dtype is off-model.
+    """
+
+    def __init__(self, plan, target, idx_fns, efn, edep, rfn, generic):
+        self.plan = plan
+        self.target = target
+        self.batched = target in plan.batched
+        self.idx_fns = idx_fns
+        self.efn, self.edep = efn, edep
+        self.rfn = rfn
+        self.generic = generic
+
+    def run(self, ctx):
+        if ctx.mask is not None:
+            return self.generic.run(ctx)
+        buffer = self.target
+        arr = ctx.get_array(buffer)
+        ext = self.efn(ctx)
+        idx = [f(ctx) for f in self.idx_fns]
+        scalar_idx = all(not isinstance(i, np.ndarray) for i in idx)
+        view = None
+        if self.batched:
+            if scalar_idx:
+                sl = tuple(
+                    _check_scalar_index(buffer, d, i)
+                    for d, i in enumerate(idx)
+                )
+                view = arr[(slice(None),) + sl]  # (L,) view
+                acc = view
+                windex = None
+            else:
+                full = tuple(
+                    _check_array_index(ctx, buffer, d, i)
+                    if isinstance(i, np.ndarray)
+                    else _check_scalar_index(buffer, d, i)
+                    for d, i in enumerate(idx)
+                )
+                windex = (ctx.lanes,) + full
+                acc = arr[windex]
+        else:
+            full = tuple(
+                _check_array_index(ctx, buffer, d, i)
+                if isinstance(i, np.ndarray)
+                else _check_scalar_index(buffer, d, i)
+                for d, i in enumerate(idx)
+            )
+            windex = full
+            acc = arr[full]
+        if isinstance(ext, np.ndarray):
+            n = int(ext.max()) if ext.size else 0
+        else:
+            n = int(ext)
+        if n <= 0:
+            return
+        old_k, old_v = ctx.axis_k, ctx.vmask
+        ctx.axis_k = np.arange(n)
+        if isinstance(ext, np.ndarray):
+            ctx.vmask = ctx.axis_k < ext[:, None]
+        try:
+            vals = self.rfn(ctx)
+        finally:
+            ctx.axis_k, ctx.vmask = old_k, old_v
+        npt = arr.dtype
+        vals = np.asarray(vals)
+        if vals.dtype != npt:
+            # Per-step cast rounding differs from one wide accumulate.
+            return self.generic.run(ctx)
+        w = np.empty((ctx.L, n + 1), npt)
+        w[:, 0] = acc
+        w[:, 1:] = vals
+        np.add.accumulate(w, axis=1, out=w)
+        if isinstance(ext, np.ndarray):
+            res = w[ctx.lanes, np.clip(ext, 0, n)]
+        else:
+            res = w[:, n]
+        if view is not None:
+            np.copyto(view, res, casting="unsafe")
+        elif self.batched:
+            arr[windex] = res
+        elif scalar_idx:
+            arr[windex] = res[0]
+        else:
+            arr[windex] = res
+
+
+class _VecMapOp:
+    """An innermost loop whose store index is injective in the loop var."""
+
+    def __init__(self, target, batched, idx_fns, efn, edep, vfn, cfn):
+        self.target = target
+        self.batched = batched
+        self.idx_fns = idx_fns
+        self.efn, self.edep = efn, edep
+        self.vfn = vfn
+        self.cfn = cfn  # optional guard, compiled in axis mode
+
+    def run(self, ctx):
+        buffer = self.target
+        arr = ctx.get_array(buffer)
+        ext = self.efn(ctx)
+        if isinstance(ext, np.ndarray):
+            n = int(ext.max()) if ext.size else 0
+        else:
+            n = int(ext)
+        if n <= 0:
+            return
+        L = ctx.L
+        sel = None  # (L, n) selection of positions actually stored
+        if isinstance(ext, np.ndarray):
+            sel = np.arange(n) < ext[:, None]
+        if ctx.mask is not None:
+            m = ctx.mask[:, None]
+            sel = m if sel is None else (sel & m)
+        old_k, old_v = ctx.axis_k, ctx.vmask
+        ctx.axis_k = np.arange(n)
+        ctx.vmask = sel
+        try:
+            idx = [f(ctx) for f in self.idx_fns]
+            if self.cfn is not None:
+                c = self.cfn[0](ctx)
+                if self.cfn[1] == 0:
+                    if not c:
+                        return
+                else:
+                    c = np.asarray(c, dtype=bool)
+                    sel = c if sel is None else (sel & c)
+                    if not sel.any():
+                        return
+            val = self.vfn(ctx)
+            full = [
+                _check_array_index(ctx, buffer, d, i)
+                if isinstance(i, np.ndarray)
+                else _check_scalar_index(buffer, d, i)
+                for d, i in enumerate(idx)
+            ]
+        finally:
+            ctx.axis_k, ctx.vmask = old_k, old_v
+        if sel is None:
+            if self.batched:
+                arr[(ctx.lanes[:, None],) + tuple(full)] = val
+            else:
+                arr[tuple(full)] = val
+            return
+        sel = np.broadcast_to(sel, (L, n))
+        full = [
+            np.broadcast_to(i, (L, n))[sel]
+            if isinstance(i, np.ndarray)
+            else i
+            for i in full
+        ]
+        if isinstance(val, np.ndarray):
+            val = np.broadcast_to(val, (L, n))[sel]
+        if self.batched:
+            rows = np.broadcast_to(ctx.lanes[:, None], (L, n))[sel]
+            arr[(rows,) + tuple(full)] = val
+        else:
+            arr[tuple(full)] = val
+
+
+# ---------------------------------------------------------------------------
+# statement compiler
+# ---------------------------------------------------------------------------
+
+
+class _StmtCompiler:
+    def __init__(self, plan):
+        self.plan = plan
+        self.expr = _ExprCompiler(plan)
+
+    def compile(self, stmt: Stmt):
+        """Compile one statement; unsupported subtrees become fallbacks."""
+        try:
+            return self._compile(stmt)
+        except VectorizeError:
+            return _FallbackOp(self.plan, stmt)
+
+    def _compile(self, stmt: Stmt):
+        if isinstance(stmt, SeqStmt):
+            return _SeqOp([self.compile(s) for s in stmt.stmts])
+        if isinstance(stmt, For):
+            return self._compile_for(stmt)
+        if isinstance(stmt, IfThenElse):
+            return _IfOp(self.plan, stmt, self)
+        if isinstance(stmt, BufferStore):
+            return _StoreOp(self.plan, stmt, self.expr)
+        if isinstance(stmt, DmaCopy):
+            return _DmaOp(self.plan, stmt, self.expr)
+        if isinstance(stmt, Allocate):
+            return _AllocOp(self.plan, stmt, self)
+        if isinstance(stmt, Evaluate):
+            return _EvalOp(stmt)
+        raise VectorizeError(f"cannot vectorize {type(stmt).__name__}")
+
+    def _compile_for(self, stmt: For):
+        efn, edep = self.expr.compile(stmt.extent)
+        if edep & AXIS:
+            raise VectorizeError("axis-dependent loop extent")
+        op = self._try_reduce(stmt, efn, edep)
+        if op is not None:
+            return op
+        op = self._try_map(stmt, efn, edep)
+        if op is not None:
+            return op
+        body_op = self._compile(stmt.body)
+        return _ForOp(stmt.var, efn, edep, body_op)
+
+    def _generic_for(self, stmt: For, efn, edep):
+        return _ForOp(stmt.var, efn, edep, self.compile(stmt.body))
+
+    def _try_reduce(self, stmt: For, efn, edep):
+        var, body = stmt.var, stmt.body
+        if not isinstance(body, BufferStore):
+            return None
+        val = body.value
+        if not isinstance(val, Add):
+            return None
+        target, idx = body.buffer, body.indices
+        if any(_contains_var(i, var) for i in idx):
+            return None
+        for acc, rest in ((val.a, val.b), (val.b, val.a)):
+            if (
+                isinstance(acc, BufferLoad)
+                and acc.buffer is target
+                and len(acc.indices) == len(idx)
+                and all(_expr_eq(x, y) for x, y in zip(acc.indices, idx))
+            ):
+                break
+        else:
+            return None
+        if _loads_buffer(rest, target):
+            return None
+        if getattr(rest, "dtype", None) != target.dtype:
+            return None
+        if target not in self.plan.batched and not self.plan.allow_shared_store:
+            return None
+        ax = _ExprCompiler(self.plan, axis_var=var)
+        try:
+            rfn, _ = ax.compile(rest)
+        except VectorizeError:
+            return None
+        idx_fns = [self.expr.compile(i)[0] for i in idx]
+        generic = self._generic_for(stmt, efn, edep)
+        return _VecReduceOp(
+            self.plan, target, idx_fns, efn, edep, rfn, generic
+        )
+
+    def _try_map(self, stmt: For, efn, edep):
+        var, body = stmt.var, stmt.body
+        cond = None
+        if (
+            isinstance(body, IfThenElse)
+            and body.else_case is None
+            and isinstance(body.then_case, BufferStore)
+        ):
+            cond, store = body.condition, body.then_case
+        elif isinstance(body, BufferStore):
+            store = body
+        else:
+            return None
+        target = store.buffer
+        if _loads_buffer(store.value, target):
+            return None
+        if cond is not None and _loads_buffer(cond, target):
+            return None
+        pos = None
+        for d, i in enumerate(store.indices):
+            if _contains_var(i, var):
+                if pos is not None:
+                    return None
+                coeff = _affine_coeff(i, var)
+                if coeff is None or coeff == 0:
+                    return None
+                pos = d
+        if pos is None:
+            return None
+        batched = target in self.plan.batched
+        if not batched and self.plan.kind != "single":
+            # In lane mode an unbatched scatter may collide across lanes;
+            # the generic masked loop handles it safely instead.
+            return None
+        ax = _ExprCompiler(self.plan, axis_var=var)
+        try:
+            idx_fns = [ax.compile(i)[0] for i in store.indices]
+            vfn, _ = ax.compile(store.value)
+            cfn = ax.compile(cond) if cond is not None else None
+        except VectorizeError:
+            return None
+        return _VecMapOp(target, batched, idx_fns, efn, edep, vfn, cfn)
+
+
+# ---------------------------------------------------------------------------
+# whole-module plans
+# ---------------------------------------------------------------------------
+
+
+class KernelPlan:
+    """Compiled batched execution of a module's per-DPU offload sequence.
+
+    One lane per grid point: H2D tile fills gather all lanes at once, the
+    kernel op tree runs over ``(L, ...)`` batched local buffers, and D2H
+    scatters every lane's valid tile region back to the host tensors.
+    Chunks the lane axis to bound peak memory.
+    """
+
+    kind = "kernel"
+    allow_shared_store = False
+
+    def __init__(self, module: LoweredModule) -> None:
+        self.module = module
+        self.lane_vars = set(module.grid_vars())
+        self.batched = {s.local_buffer for s in module.transfers}
+        self.batched |= set(module.mram_internal)
+        self.batched |= set(module.wram_buffers)
+        self.fallbacks: List[Stmt] = []
+        ec = _ExprCompiler(self)
+        # (spec, base_fns-or-None) in transfer order; fns only for h2d.
+        self._tiles = [
+            (
+                spec,
+                [ec.compile(b) for b in spec.base]
+                if spec.direction == "h2d"
+                else None,
+            )
+            for spec in module.transfers
+        ]
+        self._d2h = [
+            (spec, [ec.compile(b) for b in spec.base])
+            for spec in module.transfer("d2h")
+        ]
+        self.kernel_op = _StmtCompiler(self).compile(module.kernel)
+        self._bytes_per_lane = max(
+            1, sum(buf.nbytes for buf in self.batched)
+        )
+
+    # -- driving ------------------------------------------------------------
+    def max_lanes(self, total: int) -> int:
+        env = os.environ.get("REPRO_VECTOR_LANES")
+        if env:
+            return max(1, min(total, int(env)))
+        budget = 256 * 1024 * 1024
+        return max(1, min(total, budget // self._bytes_per_lane))
+
+    def run_points(
+        self,
+        arrays: Dict[Buffer, np.ndarray],
+        points: Sequence[tuple],
+    ) -> None:
+        points = list(points)
+        if not points:
+            return
+        cap = self.max_lanes(len(points))
+        for start in range(0, len(points), cap):
+            self._run_chunk(arrays, points[start : start + cap])
+
+    def _run_chunk(self, arrays, chunk) -> None:
+        module = self.module
+        L = len(chunk)
+        grid_vars = module.grid_vars()
+        pts = np.asarray(chunk, dtype=np.int64).reshape(L, len(grid_vars))
+        lane_vals = {v: pts[:, d] for d, v in enumerate(grid_vars)}
+        bufs = dict(arrays)
+        ctx = _Ctx(self, bufs, lane_vals, L)
+        for spec, base_fns in self._tiles:
+            tile = np.zeros(
+                (L,) + tuple(spec.shape), _np_dtype(spec.local_buffer)
+            )
+            bufs[spec.local_buffer] = tile
+            if base_fns is not None:
+                self._fill(ctx, spec, base_fns, tile)
+        for buf in module.mram_internal:
+            bufs[buf] = np.zeros((L,) + tuple(buf.shape), _np_dtype(buf))
+        for buf in module.wram_buffers:
+            bufs[buf] = np.zeros((L,) + tuple(buf.shape), _np_dtype(buf))
+        self.kernel_op.run(ctx)
+        for spec, base_fns in self._d2h:
+            self._writeback(ctx, arrays, spec, base_fns)
+
+    # -- transfers ----------------------------------------------------------
+    @staticmethod
+    def _tile_index(ctx, spec, bases):
+        """Per-dim global index arrays + validity mask for all lanes."""
+        gshape = spec.global_buffer.shape
+        nd = len(spec.shape)
+        idxs, vmask = [], None
+        for d, (b, ext, dim) in enumerate(zip(bases, spec.shape, gshape)):
+            k = np.arange(ext).reshape(
+                (1,) * (d + 1) + (ext,) + (1,) * (nd - d - 1)
+            )
+            b = np.asarray(b)
+            if b.ndim:
+                b = b.reshape((ctx.L,) + (1,) * nd)
+            i = b + k
+            m = (i >= 0) & (i < dim)
+            vmask = m if vmask is None else (vmask & m)
+            idxs.append(np.clip(i, 0, dim - 1))
+        return idxs, vmask
+
+    def _fill(self, ctx, spec, base_fns, tile) -> None:
+        src = ctx.bufs[spec.global_buffer]
+        bases = [f(ctx) for f, _ in base_fns]
+        if all(not isinstance(b, np.ndarray) for b in bases):
+            base = [int(b) for b in bases]
+            valid = [
+                max(0, min(ext, dim - b))
+                for b, ext, dim in zip(
+                    base, spec.shape, spec.global_buffer.shape
+                )
+            ]
+            if all(v > 0 for v in valid):
+                src_sl = tuple(
+                    slice(b, b + v) for b, v in zip(base, valid)
+                )
+                dst_sl = (slice(None),) + tuple(slice(0, v) for v in valid)
+                tile[dst_sl] = src[src_sl]
+            return
+        idxs, vmask = self._tile_index(ctx, spec, bases)
+        gathered = src[tuple(idxs)]
+        where = np.broadcast_to(vmask, (ctx.L,) + tuple(spec.shape))
+        np.copyto(tile, gathered, where=where)  # tile is pre-zeroed
+
+    def _writeback(self, ctx, arrays, spec, base_fns) -> None:
+        dst = arrays[spec.global_buffer]
+        tile = ctx.bufs[spec.local_buffer]
+        bases = [f(ctx) for f, _ in base_fns]
+        if ctx.L == 1 and all(not isinstance(b, np.ndarray) for b in bases):
+            base = [int(b) for b in bases]
+            valid = [
+                max(0, min(ext, dim - b))
+                for b, ext, dim in zip(
+                    base, spec.shape, spec.global_buffer.shape
+                )
+            ]
+            if all(v > 0 for v in valid):
+                dst_sl = tuple(slice(b, b + v) for b, v in zip(base, valid))
+                src_sl = (0,) + tuple(slice(0, v) for v in valid)
+                dst[dst_sl] = tile[src_sl]
+            return
+        idxs, vmask = self._tile_index(ctx, spec, bases)
+        strides = []
+        s = 1
+        for dim in reversed(spec.global_buffer.shape):
+            strides.append(s)
+            s *= dim
+        strides.reverse()
+        flat = 0
+        for i, st in zip(idxs, strides):
+            flat = flat + i * st
+        full_shape = (ctx.L,) + tuple(spec.shape)
+        flat = np.broadcast_to(flat, full_shape)
+        where = np.broadcast_to(vmask, full_shape)
+        # Lanes write disjoint (or identical-valued padded) regions; the
+        # row-major scatter preserves the scalar path's point order.
+        dst.reshape(-1)[flat[where]] = tile[where]
+
+
+# ---------------------------------------------------------------------------
+# host statement programs
+# ---------------------------------------------------------------------------
+
+
+class _SingleLanePlan:
+    """L == 1, nothing batched: a compiled scalar program over shared bufs."""
+
+    kind = "single"
+    allow_shared_store = True
+    lane_vars: frozenset = frozenset()
+
+    def __init__(self):
+        self.batched = frozenset()
+        self.fallbacks: List[Stmt] = []
+
+    def batched_alloc(self, buffer):  # Allocate stays shared (setdefault)
+        pass
+
+
+class _LanePlan:
+    """Host loop batched across its own iterations (one lane per iter)."""
+
+    kind = "lane"
+    allow_shared_store = True  # injectivity pre-verified by _lane_safe
+
+    def __init__(self, var: Var):
+        self.lane_vars = {var}
+        self.batched = frozenset()
+        self.fallbacks: List[Stmt] = []
+
+    def batched_alloc(self, buffer):
+        raise VectorizeError("Allocate inside a lane-batched loop")
+
+
+def _lane_safe(body: Stmt, var: Var) -> bool:
+    """True if batching the loop's iterations as lanes is write-safe.
+
+    Every store must index its buffer by ``var`` directly in some
+    dimension (iterations write disjoint slices), and any load of a
+    stored buffer must read the same ``var`` slice (no cross-iteration
+    dependence).
+    """
+    from ..tir import iter_stmts
+
+    stores: Dict[Buffer, set] = {}
+    for s in iter_stmts(body):
+        if isinstance(s, (SeqStmt, For, IfThenElse)):
+            continue
+        if isinstance(s, BufferStore):
+            pos = {d for d, i in enumerate(s.indices) if i is var}
+            if not pos:
+                return False
+            stores.setdefault(s.buffer, set()).update(pos)
+        else:
+            return False
+    if not stores:
+        return False
+    exprs: List[PrimExpr] = []
+    for s in iter_stmts(body):
+        if isinstance(s, For):
+            exprs.append(s.extent)
+        elif isinstance(s, IfThenElse):
+            exprs.append(s.condition)
+        elif isinstance(s, BufferStore):
+            exprs.append(s.value)
+            exprs.extend(s.indices)
+    for e in exprs:
+        for ld in collect_loads(e):
+            if ld.buffer in stores:
+                ok = any(
+                    d < len(ld.indices) and ld.indices[d] is var
+                    for d in stores[ld.buffer]
+                )
+                if not ok:
+                    return False
+    return True
+
+
+class _SingleRunner:
+    def __init__(self, plan, op):
+        self.plan, self.op = plan, op
+
+    def run(self, arrays) -> None:
+        self.op.run(_Ctx(self.plan, arrays, {}, 1))
+
+
+class _LaneRunner:
+    def __init__(self, plan, var, efn, op):
+        self.plan, self.var, self.efn, self.op = plan, var, efn, op
+
+    def run(self, arrays) -> None:
+        lanes = int(self.efn(_Ctx(self.plan, arrays, {}, 1)))
+        if lanes <= 0:
+            return
+        lane_vals = {self.var: np.arange(lanes, dtype=np.int64)}
+        self.op.run(_Ctx(self.plan, arrays, lane_vals, lanes))
+
+
+class HostProgram:
+    """Compiled form of a list of host statements (pre or post)."""
+
+    def __init__(self, module: LoweredModule, stmts: Sequence[Stmt]):
+        self.module = module
+        self.fallbacks: List[Stmt] = []
+        self.runners = [self._compile(s) for s in stmts]
+
+    def _compile(self, stmt: Stmt):
+        if isinstance(stmt, For) and _lane_safe(stmt.body, stmt.var):
+            plan = _LanePlan(stmt.var)
+            try:
+                efn, edep = _ExprCompiler(plan).compile(stmt.extent)
+            except VectorizeError:
+                efn, edep = None, LANE
+            if edep == 0:
+                op = _StmtCompiler(plan).compile(stmt.body)
+                self.fallbacks.extend(plan.fallbacks)
+                return _LaneRunner(plan, stmt.var, efn, op)
+        plan = _SingleLanePlan()
+        op = _StmtCompiler(plan).compile(stmt)
+        self.fallbacks.extend(plan.fallbacks)
+        return _SingleRunner(plan, op)
+
+    def run(self, arrays: Dict[Buffer, np.ndarray]) -> None:
+        for runner in self.runners:
+            runner.run(arrays)
+
+
+# ---------------------------------------------------------------------------
+# plan cache
+# ---------------------------------------------------------------------------
+
+_PLAN_LOCK = threading.Lock()
+#: key -> (weakref(module), {"kernel": ..., "host_pre": ..., "host_post": ...})
+_PLANS: "OrderedDict" = OrderedDict()
+_PLAN_CACHE_SIZE = 256
+
+
+def _cached_plan(module: LoweredModule, slot: str, builder):
+    """Per-module plan cache.
+
+    Keyed by the pipeline artifact content hash (``module.plan_key``,
+    stamped by :class:`repro.pipeline.ArtifactCache`) when available, by
+    object identity otherwise.  Compiled plans capture :class:`Buffer`
+    object identity, so an entry is only reused for the *same* module
+    object — the content key's job is to give cache-shared modules a
+    stable slot that survives executor churn.
+    """
+    key = getattr(module, "plan_key", None) or id(module)
+    with _PLAN_LOCK:
+        entry = _PLANS.get(key)
+        if entry is not None and entry[0]() is module:
+            plan = entry[1].get(slot)
+            if plan is not None:
+                _PLANS.move_to_end(key)
+                return plan
+    plan = builder(module)
+    with _PLAN_LOCK:
+        entry = _PLANS.get(key)
+        if entry is None or entry[0]() is not module:
+            entry = (weakref.ref(module), {})
+            _PLANS[key] = entry
+            while len(_PLANS) > _PLAN_CACHE_SIZE:
+                _PLANS.popitem(last=False)
+        entry[1][slot] = plan
+    return plan
+
+
+def plan_for(module: LoweredModule) -> KernelPlan:
+    """The compiled (cached) kernel plan for a lowered module."""
+    return _cached_plan(module, "kernel", KernelPlan)
+
+
+def host_program_for(module: LoweredModule, which: str) -> HostProgram:
+    """The compiled (cached) host ``"pre"`` or ``"post"`` program."""
+    stmts = module.host_pre if which == "pre" else module.host_post
+    return _cached_plan(
+        module, "host_" + which, lambda m: HostProgram(m, stmts)
+    )

@@ -11,6 +11,7 @@ def test_experiment_list_covers_all_figures():
     assert set(EXPERIMENTS) == {
         "fig3a", "fig3b", "fig3c", "fig4", "fig9", "tab3", "fig10",
         "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
+        "sim_speed",
     }
 
 

@@ -1,0 +1,277 @@
+"""The TIR->NumPy vectorizer: bit-for-bit equivalence gate and fallbacks."""
+
+import numpy as np
+import pytest
+
+from repro.autotune.compile import compile_params
+from repro.lowering import GridDim, LoweredModule
+from repro.tir import Buffer, BufferStore, Call, Evaluate, For, IntImm, Var
+from repro.upmem import FunctionalExecutor, VerifyMismatch, plan_for, sim_mode
+from repro.upmem.interp import InterpError, Interpreter, _np_dtype
+from repro.upmem.vectorize import host_program_for
+from repro.workloads import make_workload, size_labels, workload_names
+from repro.workloads.tensor_ops import gemv, geva, mmtv, mtv, red, ttv, va
+
+# Each family with a shape that exercises boundary handling (misaligned)
+# and one aligned shape; O0 keeps the boundary predicates in the kernel.
+SWEEP = [
+    ("va", va(1024), {"n_dpus": 8, "n_tasklets": 2, "cache": 8}),
+    ("va-tail", va(997), {"n_dpus": 8, "n_tasklets": 2, "cache": 8}),
+    ("geva", geva(500), {"n_dpus": 4, "n_tasklets": 2, "cache": 8}),
+    ("red", red(512), {"n_dpus": 4, "n_tasklets": 2, "cache": 8}),
+    ("red-tail", red(509), {"n_dpus": 4, "n_tasklets": 2, "cache": 8}),
+    (
+        "mtv",
+        mtv(64, 64),
+        {"m_dpus": 8, "k_dpus": 1, "n_tasklets": 2, "cache": 8,
+         "host_threads": 1},
+    ),
+    (
+        "mtv-rfactor",
+        mtv(37, 50),
+        {"m_dpus": 4, "k_dpus": 2, "n_tasklets": 2, "cache": 8,
+         "host_threads": 1},
+    ),
+    (
+        "gemv",
+        gemv(37, 50),
+        {"m_dpus": 4, "k_dpus": 2, "n_tasklets": 2, "cache": 8,
+         "host_threads": 1},
+    ),
+    ("ttv", ttv(4, 10, 24), {"i_dpus": 2, "j_dpus": 2, "n_tasklets": 2,
+                             "cache": 8}),
+    ("mmtv", mmtv(3, 9, 17), {"i_dpus": 3, "j_dpus": 2, "n_tasklets": 2,
+                              "cache": 8}),
+]
+
+
+def _compile(wl, params, level):
+    module = compile_params(wl, params, optimize=level, check=False)
+    assert module is not None, f"{wl.name} rejected params {params}"
+    return module
+
+
+def _run(module, inputs, mode, monkeypatch):
+    monkeypatch.setenv("REPRO_SIM_MODE", mode)
+    return [a.copy() for a in FunctionalExecutor(module).run(inputs)]
+
+
+class TestEquivalenceGate:
+    @pytest.mark.parametrize("level", ["O0", "O3"])
+    @pytest.mark.parametrize(
+        "label,wl,params", SWEEP, ids=[s[0] for s in SWEEP]
+    )
+    def test_vector_matches_scalar_bitwise(
+        self, label, wl, params, level, monkeypatch
+    ):
+        module = _compile(wl, params, level)
+        inputs = wl.random_inputs(0)
+        scalar = _run(module, inputs, "scalar", monkeypatch)
+        vector = _run(module, inputs, "vector", monkeypatch)
+        for s, v in zip(scalar, vector):
+            assert s.dtype == v.dtype and s.shape == v.shape
+            assert s.tobytes() == v.tobytes()
+        # verify mode runs both and must agree with itself
+        out = _run(module, inputs, "verify", monkeypatch)
+        for s, o in zip(scalar, out):
+            assert s.tobytes() == o.tobytes()
+        np.testing.assert_allclose(
+            vector[0], wl.reference_output(inputs), rtol=1e-3, atol=1e-4
+        )
+
+    def test_no_fallbacks_on_registered_workloads(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_MODE", "vector")
+        for label, wl, params in SWEEP:
+            module = _compile(wl, params, "O3")
+            FunctionalExecutor(module).run(wl.random_inputs(1))
+            assert plan_for(module).fallbacks == [], label
+            for which in ("pre", "post"):
+                assert host_program_for(module, which).fallbacks == []
+
+    def test_lane_chunking_is_bitwise_stable(self, monkeypatch):
+        """Odd chunk sizes and sharded run_points agree with one shot."""
+        wl = mtv(37, 50)
+        params = {"m_dpus": 8, "k_dpus": 1, "n_tasklets": 2, "cache": 8,
+                  "host_threads": 1}
+        module = _compile(wl, params, "O0")
+        inputs = wl.random_inputs(2)
+        monkeypatch.setenv("REPRO_SIM_MODE", "vector")
+        ref = _run(module, inputs, "vector", monkeypatch)
+        monkeypatch.setenv("REPRO_VECTOR_LANES", "3")
+        chunked = _run(module, inputs, "vector", monkeypatch)
+        monkeypatch.delenv("REPRO_VECTOR_LANES")
+        assert ref[0].tobytes() == chunked[0].tobytes()
+        # manual two-shard phased execution (what run_batch does)
+        fexec = FunctionalExecutor(module)
+        arrays = fexec.prepare(inputs)
+        points = fexec.grid_points()
+        fexec.run_points(arrays, points[: len(points) // 2])
+        fexec.run_points(arrays, points[len(points) // 2 :])
+        out, = fexec.finalize(arrays)
+        assert out.tobytes() == ref[0].tobytes()
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_run_batch_workers_bitwise_stable(self, workers, monkeypatch):
+        """Thread-pool sharding over the vector path stays byte-equal
+        to a sequential scalar run at any worker count."""
+        import repro
+
+        monkeypatch.setenv("REPRO_SIM_MODE", "scalar")
+        wl = mmtv(3, 9, 17)
+        exe = repro.compile(
+            wl,
+            target="upmem",
+            params={"i_dpus": 3, "j_dpus": 2, "n_tasklets": 2, "cache": 8},
+        )
+        batch = [wl.random_inputs(s) for s in range(3)]
+        ref = [out[0].copy() for out in exe.run_batch(batch, max_workers=1)]
+        monkeypatch.setenv("REPRO_SIM_MODE", "vector")
+        got = exe.run_batch(batch, max_workers=workers)
+        for r, (g,) in zip(ref, got):
+            assert r.tobytes() == g.tobytes()
+
+    @pytest.mark.slow
+    def test_full_size_sweep_4mb(self, monkeypatch):
+        """Every registered workload's 4MB instance through the gate."""
+        from repro.target import default_params
+
+        monkeypatch.setenv("REPRO_SIM_MODE", "verify")
+        for name in workload_names():
+            assert "4MB" in size_labels(name)
+            wl = make_workload(name, "4MB")
+            module = compile_params(
+                wl, default_params(wl), optimize="O3", check=False
+            )
+            assert module is not None, name
+            out, = FunctionalExecutor(module).run(wl.random_inputs(0))
+            np.testing.assert_allclose(
+                out, wl.reference_output(wl.random_inputs(0)),
+                rtol=1e-2, atol=1e-3,
+            )
+
+
+def _toy_module(kernel, out_buf, grid_extent=4):
+    gvar = Var("b")
+    return LoweredModule(
+        name="toy",
+        grid=[GridDim("blockIdx.x", gvar, grid_extent)],
+        kernel=kernel,
+        transfers=[],
+        host_pre=[],
+        host_post=[],
+        inputs=[],
+        outputs=[out_buf],
+    ), gvar
+
+
+class TestFallbacks:
+    def test_store_to_shared_buffer_falls_back(self, monkeypatch):
+        """A kernel writing a global buffer directly is out of model:
+        the statement must degrade to the scalar interpreter per lane
+        and still produce scalar-identical bytes."""
+        out = Buffer("Out", (8,), "float32")
+        i = Var("i")
+        body = For(i, 2, BufferStore(out, (i + 1) * 2, [IntImm(0)]))
+        module, gvar = _toy_module(body, out, grid_extent=4)
+        plan = plan_for(module)
+        assert plan.fallbacks, "expected the shared store to fall back"
+        monkeypatch.setenv("REPRO_SIM_MODE", "scalar")
+        s, = FunctionalExecutor(module).run({})
+        monkeypatch.setenv("REPRO_SIM_MODE", "vector")
+        v, = FunctionalExecutor(module).run({})
+        assert s.tobytes() == v.tobytes()
+
+    def test_unknown_intrinsic_raises_in_both_modes(self, monkeypatch):
+        out = Buffer("Out", (4,), "float32")
+        kernel = Evaluate(Call("fused_magic", [], "float32"))
+        module, _ = _toy_module(kernel, out)
+        assert plan_for(module).fallbacks
+        for mode in ("scalar", "vector"):
+            monkeypatch.setenv("REPRO_SIM_MODE", mode)
+            with pytest.raises(InterpError):
+                FunctionalExecutor(module).run({})
+
+    def test_verify_mismatch_raises(self, monkeypatch):
+        wl = va(64)
+        module = _compile(wl, {"n_dpus": 2, "n_tasklets": 1, "cache": 8},
+                          "O3")
+        fexec = FunctionalExecutor(module, mode="verify")
+
+        class _LyingPlan:
+            def run_points(self, arrays, points):
+                plan_for(module).run_points(arrays, points)
+                out = module.outputs[0]
+                arrays[out] += np.float32(1.0)  # corrupt the vector result
+
+        monkeypatch.setattr(fexec, "_plan", lambda: _LyingPlan())
+        with pytest.raises(VerifyMismatch):
+            fexec.run(wl.random_inputs(0))
+
+    def test_bad_mode_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_MODE", "warp-speed")
+        with pytest.raises(ValueError):
+            sim_mode()
+        assert sim_mode("vector") == "vector"
+
+
+class TestDtypeRegression:
+    def test_int32_buffers_are_int32(self):
+        buf = Buffer("I", (4,), "int32")
+        assert _np_dtype(buf) is np.int32
+        interp = Interpreter({})
+        arr = interp._array(buf)
+        assert arr.dtype == np.int32
+        i = Var("i")
+        interp.run(For(i, 4, BufferStore(buf, i * 2, [i])), {})
+        assert arr.dtype == np.int32 and list(arr) == [0, 2, 4, 6]
+
+    def test_int32_round_trip_through_executor(self, monkeypatch):
+        out = Buffer("Out", (4,), "int32")
+        i = Var("i")
+        kernel = For(i, 4, BufferStore(out, i + 1, [i]))
+        module, _ = _toy_module(kernel, out, grid_extent=1)
+        for mode in ("scalar", "vector"):
+            monkeypatch.setenv("REPRO_SIM_MODE", mode)
+            o, = FunctionalExecutor(module).run({})
+            assert o.dtype == np.int32
+            assert o.tobytes() == np.array([1, 2, 3, 4], np.int32).tobytes()
+
+
+class TestPlanCache:
+    def test_plan_reused_per_module(self):
+        wl = va(128)
+        module = _compile(wl, {"n_dpus": 2, "n_tasklets": 1, "cache": 8},
+                          "O3")
+        assert plan_for(module) is plan_for(module)
+        assert host_program_for(module, "post") is host_program_for(
+            module, "post"
+        )
+
+    def test_artifact_cache_stamps_plan_key(self):
+        wl = va(256)
+        module = _compile(wl, {"n_dpus": 2, "n_tasklets": 1, "cache": 8},
+                          "O3")
+        assert isinstance(getattr(module, "plan_key", None), str)
+
+    def test_grid_points_memoized(self):
+        wl = va(128)
+        module = _compile(wl, {"n_dpus": 2, "n_tasklets": 1, "cache": 8},
+                          "O3")
+        fexec = FunctionalExecutor(module)
+        assert fexec.grid_points() is fexec.grid_points()
+
+
+class TestAccumulateContract:
+    def test_np_accumulate_is_sequential_left_fold(self):
+        """The reduce vectorization relies on accumulate being a strict
+        left fold in float32 — guard against numpy changing that."""
+        rng = np.random.default_rng(7)
+        x = rng.random((5, 33), dtype=np.float32)
+        acc = np.add.accumulate(x, axis=1)
+        ref = np.empty_like(x)
+        for r in range(x.shape[0]):
+            s = np.float32(0.0)
+            for c in range(x.shape[1]):
+                s = s + x[r, c]
+                ref[r, c] = s
+        assert acc.tobytes() == ref.tobytes()
