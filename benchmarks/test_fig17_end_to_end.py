@@ -22,7 +22,7 @@ COLUMNS = [
 def test_fig17_decode_step(benchmark):
     data = benchmark.pedantic(
         fig17_end_to_end,
-        kwargs=dict(tokens=8),
+        kwargs=dict(tokens=16),
         rounds=1,
         iterations=1,
     )

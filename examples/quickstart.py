@@ -26,7 +26,12 @@ Walks the ATiM flow around the single entry point
    FC-shape MTVs, host-side glue — compile it through the same front
    door (placement puts matvecs on PIM, glue on the CPU), run it
    bit-for-bit against the per-op path, and print the fig17-style
-   per-node latency breakdown plus the memory planner's buffer reuse.
+   per-node latency breakdown plus the memory planner's buffer reuse;
+7. decode end-to-end with ``repro.decode.DecodeEngine``: N layers x T
+   tokens over a paged KV cache that grows without replanning the graph
+   and a weight-residency planner staging/evicting layers under an MRAM
+   budget — per-step and per-layer transfer breakdowns, bit-for-bit at
+   any worker count.
 
 Run:  python examples/quickstart.py
 """
@@ -245,6 +250,55 @@ def model_graphs() -> None:
     )
 
 
+def decode() -> None:
+    # 7. Full-model decode: every layer, every token, over managed
+    #    device memory.  The paged KV cache grows across steps without
+    #    replanning the graph (programs recompile only when a page
+    #    boundary changes the attention capacity), and a weight-
+    #    residency planner stages/evicts layer weights under an MRAM
+    #    budget too small to hold them all — both charged through the
+    #    explicit transfer model, bit-for-bit at any worker count.
+    from repro.decode import DecodeEngine
+    from repro.workloads import GPTJConfig
+
+    config = GPTJConfig("gptj-demo", n_heads=2, d_model=32, head_dim=16)
+    layer_nbytes = 12 * config.d_model**2 * 4
+    engine = DecodeEngine(
+        config=config,
+        layers=3,
+        page_tokens=4,
+        mram_budget_bytes=2 * layer_nbytes,  # 2 of 3 layers fit
+    )
+    result = engine.decode(tokens=6, prompt_tokens=6)
+
+    print("--- full-model decode: 3 layers x 6 tokens ---")
+    for step in result.steps:
+        row = step.to_dict()
+        print(
+            f"step {row['step']}  pos {row['position']:2d}"
+            f"  capacity {row['capacity']:2d}"
+            f"  compiled {row['compiled_programs']:2d}"
+            f"  compute {row['compute_ms']:.3f} ms"
+            f"  staging {row['staging_ms']:.3f} ms"
+            f"  growth {row['cache_growth_ms']:.4f} ms"
+        )
+    totals = result.per_layer_totals()
+    print(
+        f"replans {result.replans} (page boundaries only), "
+        f"stage/evict per layer: "
+        + ", ".join(
+            f"L{r['layer']}:{r['stages']}/{r['evictions']}" for r in totals
+        )
+    )
+    cache = result.cache_stats
+    print(
+        f"KV cache: {cache['pages_allocated']} pages x "
+        f"{cache['page_tokens']} tokens, utilization "
+        f"{cache['utilization']:.2f}, fragmentation "
+        f"{cache['fragmentation']:.2f}"
+    )
+
+
 def main() -> None:
     compile_workload()
     print()
@@ -257,6 +311,8 @@ def main() -> None:
     serving()
     print()
     model_graphs()
+    print()
+    decode()
 
 
 if __name__ == "__main__":

@@ -1,0 +1,481 @@
+"""DecodeEngine: T tokens through an N-layer graph, end to end.
+
+The engine closes the loop the rest of the stack leaves open: it owns
+the model weights, a :class:`~repro.decode.kv_cache.PagedKVCache`, a
+:class:`~repro.decode.residency.WeightResidencyPlanner`, and one shared
+:class:`~repro.serve.pool.ExecutablePool`, and drives
+:class:`~repro.graph.GraphExecutable` decode steps token after token:
+
+* steps whose cache *capacity* is unchanged reuse the previous step's
+  compiled executable outright — zero graph builds, zero pool lookups;
+* a step that crossed a page boundary builds the next capacity epoch's
+  graph, and the pool serves every capacity-independent program from
+  residency (the epoch loads only the attention operators sized to the
+  new capacity — ``StepReport.compiled_programs`` proves it);
+* each step charges, separately and deterministically: per-node compute
+  and boundary transfers (from the epoch's
+  :class:`~repro.graph.executable.GraphProfile`), weight stage/evict
+  traffic (from the residency planner), and cache-extension transfers
+  (from the paged cache) — never the profile's one-shot staging number,
+  which the planner supersedes.
+
+Everything the engine reports is derived from deterministic inputs —
+graph structure, simulated latencies, seeded arrays — so a decode run
+is bit-for-bit reproducible at any ``max_workers`` and under any
+``REPRO_SIM_MODE``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..graph import GraphExecutable, gptj_model_graph, place, plan_memory
+from ..graph.builder import GPTJ_SIM
+from ..serve.pool import ExecutablePool
+from ..upmem.config import UpmemConfig
+from ..workloads.gptj import GPTJConfig
+from .kv_cache import CacheExtension, PagedKVCache
+from .residency import StageEvent, WeightResidencyPlanner
+
+__all__ = ["StepReport", "DecodeResult", "DecodeEngine"]
+
+#: Weight init scale: keeps hidden states O(1) through the layer
+#: recurrence x <- x + attn + ffn across many decode steps.
+_WEIGHT_SCALE = np.float32(0.05)
+
+
+@dataclass(frozen=True)
+class StepReport:
+    """One decoded token's full cost breakdown (seconds)."""
+
+    step: int
+    #: Sequence length when the step ran (the positions attention saw).
+    position: int
+    #: Allocated cache tokens the step's graph was sized to.
+    capacity: int
+    #: Fresh programs this step's (re)compile loaded; 0 inside an epoch.
+    compiled_programs: int
+    #: Whether this step built a new capacity epoch's executable.
+    replanned: bool
+    compute_s: float
+    h2d_s: float
+    d2h_s: float
+    staging_s: float
+    cache_growth_s: float
+    reference_ok: Optional[bool]
+    per_layer: Tuple[Dict, ...] = ()
+    stage_events: Tuple[StageEvent, ...] = ()
+    cache_events: Tuple[CacheExtension, ...] = ()
+
+    @property
+    def total_s(self) -> float:
+        return (
+            self.compute_s + self.h2d_s + self.d2h_s
+            + self.staging_s + self.cache_growth_s
+        )
+
+    def to_dict(self) -> Dict:
+        return {
+            "step": self.step,
+            "position": self.position,
+            "capacity": self.capacity,
+            "compiled_programs": self.compiled_programs,
+            "replanned": self.replanned,
+            "compute_ms": self.compute_s * 1e3,
+            "h2d_ms": self.h2d_s * 1e3,
+            "d2h_ms": self.d2h_s * 1e3,
+            "staging_ms": self.staging_s * 1e3,
+            "cache_growth_ms": self.cache_growth_s * 1e3,
+            "total_ms": self.total_s * 1e3,
+            "reference_ok": self.reference_ok,
+        }
+
+
+@dataclass
+class DecodeResult:
+    """A full decode run: per-step reports plus the aggregates."""
+
+    layers: int
+    tokens: int
+    prompt_tokens: int
+    page_tokens: int
+    steps: List[StepReport] = field(default_factory=list)
+    #: Final hidden state of each step (the next step's input token).
+    hidden_states: List[np.ndarray] = field(default_factory=list)
+    memory_plan: Optional[Any] = None
+    pool_stats: Dict = field(default_factory=dict)
+    cache_stats: Dict = field(default_factory=dict)
+    residency_stats: Dict = field(default_factory=dict)
+
+    @property
+    def replans(self) -> int:
+        """Capacity-epoch rebuilds after the first compile."""
+        return sum(1 for s in self.steps[1:] if s.replanned)
+
+    @property
+    def compiled_programs(self) -> int:
+        return sum(s.compiled_programs for s in self.steps)
+
+    @property
+    def reference_ok(self) -> Optional[bool]:
+        checked = [s.reference_ok for s in self.steps if s.reference_ok is not None]
+        return all(checked) if checked else None
+
+    def totals(self) -> Dict[str, float]:
+        out = {
+            "compute_s": 0.0, "h2d_s": 0.0, "d2h_s": 0.0,
+            "staging_s": 0.0, "cache_growth_s": 0.0, "total_s": 0.0,
+        }
+        for s in self.steps:
+            out["compute_s"] += s.compute_s
+            out["h2d_s"] += s.h2d_s
+            out["d2h_s"] += s.d2h_s
+            out["staging_s"] += s.staging_s
+            out["cache_growth_s"] += s.cache_growth_s
+            out["total_s"] += s.total_s
+        return out
+
+    def per_layer_totals(self) -> List[Dict]:
+        """Per-layer aggregate across every step: compute, boundary
+        transfers, weight staging (with stage/evict counts) and cache
+        growth — the fig17 multilayer breakdown."""
+        rows: List[Dict] = [
+            {
+                "layer": layer, "compute_s": 0.0, "h2d_s": 0.0,
+                "d2h_s": 0.0, "staging_s": 0.0, "cache_growth_s": 0.0,
+                "stages": 0, "evictions": 0,
+            }
+            for layer in range(self.layers)
+        ]
+        for step in self.steps:
+            for entry in step.per_layer:
+                row = rows[entry["layer"]]
+                for key in (
+                    "compute_s", "h2d_s", "d2h_s",
+                    "staging_s", "cache_growth_s",
+                ):
+                    row[key] += entry[key]
+            for ev in step.stage_events:
+                rows[ev.layer]["stages" if ev.action == "stage" else "evictions"] += 1
+        return rows
+
+    def to_dict(self) -> Dict:
+        return {
+            "layers": self.layers,
+            "tokens": self.tokens,
+            "prompt_tokens": self.prompt_tokens,
+            "page_tokens": self.page_tokens,
+            "replans": self.replans,
+            "compiled_programs": self.compiled_programs,
+            "reference_ok": self.reference_ok,
+            "totals": self.totals(),
+            "steps": [s.to_dict() for s in self.steps],
+            "per_layer": [
+                {
+                    (f"{k[:-2]}_ms" if k.endswith("_s") else k):
+                        (v * 1e3 if k.endswith("_s") else v)
+                    for k, v in row.items()
+                }
+                for row in self.per_layer_totals()
+            ],
+            "memory": (
+                self.memory_plan.to_dict() if self.memory_plan else None
+            ),
+            "pool": self.pool_stats,
+            "cache": self.cache_stats,
+            "residency": self.residency_stats,
+        }
+
+
+class DecodeEngine:
+    """Run multi-token decode over an N-layer GPT-J graph."""
+
+    def __init__(
+        self,
+        config: Optional[GPTJConfig] = None,
+        layers: int = 2,
+        page_tokens: int = 4,
+        policy: str = "upmem",
+        target: Any = "upmem",
+        host_target: Any = "cpu",
+        pool: Optional[ExecutablePool] = None,
+        max_workers: Optional[int] = None,
+        mram_budget_bytes: Optional[int] = None,
+        residency_policy: str = "belady",
+        params: Optional[Dict[str, Dict[str, int]]] = None,
+        pin_small_grids: bool = True,
+        max_pages: int = 1024,
+        seed: int = 0,
+        upmem_config: Optional[UpmemConfig] = None,
+        check_references: bool = True,
+    ) -> None:
+        self.config = config or GPTJ_SIM
+        if layers < 1:
+            raise ValueError(f"layers must be >= 1, got {layers}")
+        self.layers = layers
+        self.policy = policy
+        self.target = target
+        self.host_target = host_target
+        self.max_workers = max_workers
+        self.params = params
+        self.pin_small_grids = pin_small_grids
+        self.seed = seed
+        self.check_references = check_references
+        self.upmem_config = upmem_config or UpmemConfig()
+        d = self.config.d_model
+        self.cache = PagedKVCache(
+            d_model=d,
+            layers=layers,
+            page_tokens=page_tokens,
+            max_pages=max_pages,
+            config=self.upmem_config,
+        )
+        self.cache.add_sequence("seq0")
+        # Deterministic weights: one seeded stream, fixed layer/name
+        # order.  Scaled small so the residual recurrence stays tame.
+        rng = np.random.default_rng(seed)
+        self.weights: Dict[str, np.ndarray] = {}
+        for layer in range(layers):
+            for name, shape in (
+                (f"w_qkv_L{layer}", (3 * d, d)),
+                (f"w_proj_L{layer}", (d, d)),
+                (f"w_fc_L{layer}", (4 * d, d)),
+                (f"w_fc_proj_L{layer}", (d, 4 * d)),
+            ):
+                self.weights[name] = (
+                    rng.standard_normal(shape, dtype=np.float32)
+                    * _WEIGHT_SCALE
+                )
+        layer_nbytes = 12 * d * d * 4  # the four FC weights, float32
+        budget = (
+            mram_budget_bytes
+            if mram_budget_bytes is not None
+            else layers * layer_nbytes  # whole model fits: load once
+        )
+        self.residency = WeightResidencyPlanner(
+            [layer_nbytes] * layers,
+            budget,
+            policy=residency_policy,
+            config=self.upmem_config,
+        )
+        # `pool or ...` would drop a caller's pool: an empty pool has
+        # __len__ == 0 and is falsy.
+        self.pool = pool if pool is not None else ExecutablePool(capacity=64)
+        self._rng = rng
+        self._x = rng.standard_normal((d,), dtype=np.float32)
+        self._epoch_capacity: Optional[int] = None
+        self._epoch_exe: Optional[GraphExecutable] = None
+        self._epoch_graph = None
+        self._epoch_keys: set = set()
+        self._epoch_layer_costs: List[Dict] = []
+        self._epoch_step_costs: Dict[str, float] = {}
+        self._global_step = 0
+
+    # -- prefill -------------------------------------------------------------
+    def prefill(self, prompt_tokens: int) -> List[CacheExtension]:
+        """Seed the cache with ``prompt_tokens`` deterministic K/V rows
+        per layer (standing in for a prompt pass — the decode loop
+        needs at least one cached position to attend over).  Prefill
+        rows move over the bus like any cache extension; the events are
+        returned and counted in the cache totals."""
+        if prompt_tokens < 1:
+            raise ValueError(
+                f"prompt_tokens must be >= 1, got {prompt_tokens}"
+            )
+        d = self.config.d_model
+        events: List[CacheExtension] = []
+        for _ in range(prompt_tokens):
+            rows = [
+                (
+                    self._rng.standard_normal((d,), dtype=np.float32),
+                    self._rng.standard_normal((d,), dtype=np.float32),
+                )
+                for _ in range(self.layers)
+            ]
+            events.extend(self.cache.append("seq0", rows))
+        return events
+
+    # -- epoch management ----------------------------------------------------
+    def _ensure_epoch(self, capacity: int) -> Tuple[GraphExecutable, int, bool]:
+        """Executable for the current capacity epoch.
+
+        Same capacity → the cached executable, zero work.  New capacity
+        → build the epoch graph, compile through the *shared* pool
+        (capacity-independent programs pool-hit), pin the new working
+        set and unpin programs the retired epoch no longer needs."""
+        if capacity == self._epoch_capacity and self._epoch_exe is not None:
+            return self._epoch_exe, 0, False
+        graph = gptj_model_graph(
+            self.config,
+            layers=self.layers,
+            capacity=capacity,
+            params=self.params,
+            pin_small_grids=self.pin_small_grids,
+        )
+        placement = place(
+            graph, policy=self.policy,
+            pim=self.target, host=self.host_target,
+        )
+        # Pin the epoch's working set BEFORE compiling: pinning after
+        # the fact would let a small pool evict the epoch's own
+        # programs while later nodes of the same graph still compile.
+        keys = {
+            ExecutablePool.key_for(
+                node.workload, placement[node.name], node.params
+            )
+            for node in graph.nodes
+        }
+        for key in keys:
+            self.pool.pin(key)
+        exe = GraphExecutable(
+            graph,
+            placement,
+            target=self.target,
+            pool=self.pool,
+            max_workers=self.max_workers,
+        )
+        for stale in self._epoch_keys - keys:
+            self.pool.unpin(stale)
+        self._epoch_keys = keys
+        self._epoch_capacity = capacity
+        self._epoch_exe = exe
+        self._epoch_graph = graph
+        self._epoch_layer_costs, self._epoch_step_costs = (
+            self._profile_costs(exe)
+        )
+        return exe, exe.loaded_program_count, True
+
+    def _profile_costs(
+        self, exe: GraphExecutable
+    ) -> Tuple[List[Dict], Dict[str, float]]:
+        """Split the epoch profile's recurring costs by layer.
+
+        Uses per-node compute and boundary transfers only — the
+        profile's one-shot ``staging_s`` is deliberately ignored: the
+        residency planner owns weight staging (and re-staging), and the
+        paged cache owns KV traffic."""
+        layer_costs = [
+            {
+                "layer": layer, "compute_s": 0.0,
+                "h2d_s": 0.0, "d2h_s": 0.0,
+                "staging_s": 0.0, "cache_growth_s": 0.0,
+            }
+            for layer in range(self.layers)
+        ]
+        totals = {"compute_s": 0.0, "h2d_s": 0.0, "d2h_s": 0.0}
+        for cost in exe.profile().nodes:
+            layer = int(cost.node.split(".", 1)[0][1:])
+            layer_costs[layer]["compute_s"] += cost.compute_s
+            layer_costs[layer]["h2d_s"] += cost.h2d_s
+            layer_costs[layer]["d2h_s"] += cost.d2h_s
+            totals["compute_s"] += cost.compute_s
+            totals["h2d_s"] += cost.h2d_s
+            totals["d2h_s"] += cost.d2h_s
+        return layer_costs, totals
+
+    # -- the token loop ------------------------------------------------------
+    def step(self) -> StepReport:
+        """Decode one token: (re)use the epoch executable, run the
+        graph, charge residency + cache traffic, append the new K/V."""
+        if self.cache.length("seq0") == 0:
+            raise RuntimeError("call prefill() before decoding")
+        capacity = self.cache.capacity("seq0")
+        position = self.cache.length("seq0")
+        exe, compiled, replanned = self._ensure_epoch(capacity)
+        graph = self._epoch_graph
+
+        stage_events: List[StageEvent] = []
+        for layer in range(self.layers):
+            stage_events.extend(
+                self.residency.access(self._global_step, layer)
+            )
+
+        inputs: Dict[str, np.ndarray] = dict(self.weights)
+        inputs["x"] = self._x
+        inputs["attn_mask"] = self.cache.attention_mask("seq0")
+        d, hd = self.config.d_model, self.config.head_dim
+        for layer in range(self.layers):
+            k, v = self.cache.dense_kv("seq0", layer)
+            for h in range(self.config.n_heads):
+                sl = slice(h * hd, (h + 1) * hd)
+                inputs[f"k_cache_L{layer}_h{h}"] = np.ascontiguousarray(
+                    k[None, :, sl]
+                )
+                inputs[f"v_cache_t_L{layer}_h{h}"] = np.ascontiguousarray(
+                    v[:, sl].T
+                )
+        outs = exe.run_tensors(inputs)
+
+        reference_ok: Optional[bool] = None
+        if self.check_references:
+            ref = graph.reference_outputs(inputs)
+            reference_ok = all(
+                np.allclose(outs[name], ref[name], rtol=2e-3, atol=1e-5)
+                for name in ref
+            )
+
+        self._x = outs[f"h{self.layers}"]
+        cache_events = self.cache.append(
+            "seq0",
+            [
+                (outs[f"k_new_L{layer}"], outs[f"v_new_L{layer}"])
+                for layer in range(self.layers)
+            ],
+        )
+
+        per_layer = []
+        for layer in range(self.layers):
+            entry = dict(self._epoch_layer_costs[layer])
+            entry["staging_s"] = sum(
+                e.seconds for e in stage_events if e.layer == layer
+            )
+            entry["cache_growth_s"] = sum(
+                e.seconds for e in cache_events if e.layer == layer
+            )
+            per_layer.append(entry)
+
+        report = StepReport(
+            step=self._global_step,
+            position=position,
+            capacity=capacity,
+            compiled_programs=compiled,
+            replanned=replanned,
+            compute_s=self._epoch_step_costs["compute_s"],
+            h2d_s=self._epoch_step_costs["h2d_s"],
+            d2h_s=self._epoch_step_costs["d2h_s"],
+            staging_s=sum(e.seconds for e in stage_events),
+            cache_growth_s=sum(e.seconds for e in cache_events),
+            reference_ok=reference_ok,
+            per_layer=tuple(per_layer),
+            stage_events=tuple(stage_events),
+            cache_events=tuple(cache_events),
+        )
+        self._global_step += 1
+        return report
+
+    def decode(
+        self, tokens: int, prompt_tokens: int = 4
+    ) -> DecodeResult:
+        """Prefill then decode ``tokens`` tokens end to end."""
+        if tokens < 1:
+            raise ValueError(f"tokens must be >= 1, got {tokens}")
+        if self.cache.length("seq0") == 0:
+            self.prefill(prompt_tokens)
+        result = DecodeResult(
+            layers=self.layers,
+            tokens=tokens,
+            prompt_tokens=self.cache.length("seq0"),
+            page_tokens=self.cache.page_tokens,
+        )
+        for _ in range(tokens):
+            report = self.step()
+            result.steps.append(report)
+            result.hidden_states.append(self._x.copy())
+        result.memory_plan = plan_memory(self._epoch_graph)
+        result.pool_stats = self.pool.stats()
+        result.cache_stats = self.cache.stats()
+        result.residency_stats = self.residency.stats()
+        return result

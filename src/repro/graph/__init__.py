@@ -22,7 +22,12 @@ Quick tour::
     print(plan_memory(graph).reuse_ratio)
 """
 
-from .builder import GPTJ_SIM, gptj_decoder_graph, small_grid_params
+from .builder import (
+    GPTJ_SIM,
+    gptj_decoder_graph,
+    gptj_model_graph,
+    small_grid_params,
+)
 from .executable import (
     GraphExecutable,
     GraphProfile,
@@ -30,7 +35,7 @@ from .executable import (
     compile_graph,
 )
 from .ir import GraphError, ModelGraph, Node
-from .memory import MemoryPlan, SlotAssignment, plan_memory
+from .memory import MemoryPlan, SlotAssignment, arena_stats, plan_memory
 from .placement import PIM_OP_NAMES, PLACEMENT_POLICIES, place
 
 __all__ = [
@@ -43,11 +48,13 @@ __all__ = [
     "compile_graph",
     "MemoryPlan",
     "SlotAssignment",
+    "arena_stats",
     "plan_memory",
     "place",
     "PIM_OP_NAMES",
     "PLACEMENT_POLICIES",
     "GPTJ_SIM",
     "gptj_decoder_graph",
+    "gptj_model_graph",
     "small_grid_params",
 ]

@@ -41,7 +41,12 @@ from .. import te
 from ..workloads import GPTJConfig, Workload, fc_mtv, mmtv, mtv, va
 from .ir import ModelGraph
 
-__all__ = ["GPTJ_SIM", "small_grid_params", "gptj_decoder_graph"]
+__all__ = [
+    "GPTJ_SIM",
+    "small_grid_params",
+    "gptj_decoder_graph",
+    "gptj_model_graph",
+]
 
 #: Scaled GPT-J configuration for functional end-to-end runs: the same
 #: graph topology as 6B (``n_heads * head_dim == d_model``), sized so a
@@ -57,14 +62,16 @@ def _pow2_at_most(n: int) -> int:
 
 
 def small_grid_params(
-    workload: Workload, max_dpus: int = 8
+    workload: Workload, max_dpus: int = 64
 ) -> Dict[str, int]:
     """Pinned small-grid schedule params for one graph node.
 
-    Keeps functional simulation cheap (a few thousand interpreted grid
-    steps per node) while leaving idle DPU groups for the serving layer
-    to replicate batches across.  Simulated latency is unaffected by the
-    host-side cost of the grid choice.
+    Keeps functional simulation cheap while leaving idle DPU groups for
+    the serving layer to replicate batches across.  Simulated latency is
+    unaffected by the host-side cost of the grid choice.  The default
+    grid cap was 8 DPUs when every grid point was interpreted one at a
+    time; the vectorized NumPy backend executes the whole grid as one
+    lane axis, so suites now afford 64.
     """
     name = workload.name
     if name in ("va", "geva"):
@@ -291,5 +298,241 @@ def gptj_decoder_graph(
         "residual_out", residual_wl, {"A": "resid_1", "B": "ffn_out"}, "y",
         params=node_params("residual_out", residual_wl), tags=("glue",),
     )
+    g.validate()
+    return g
+
+
+def gptj_model_graph(
+    config: GPTJConfig = GPTJ_SIM,
+    layers: int = 2,
+    capacity: int = 16,
+    params: Optional[Dict[str, Dict[str, int]]] = None,
+    pin_small_grids: bool = True,
+) -> ModelGraph:
+    """Build an N-layer GPT-J decode step sized for a *paged* KV cache.
+
+    The multi-layer counterpart of :func:`gptj_decoder_graph`, shaped so
+    one compiled program pool serves every layer of every decode step:
+
+    * ``capacity`` is the KV cache's **allocated** length (a whole
+      number of pages), not the sequence length.  Attention reads all
+      ``capacity`` positions; an ``attn_mask`` *dynamic* input (0 for
+      valid positions, ``-inf`` for unwritten tail slots) folds into the
+      scaled softmax, so two steps at different sequence lengths but the
+      same page allocation build **structurally identical** graphs — no
+      recompile, no replanning, just a new mask vector.  Only crossing a
+      page boundary (a bigger ``capacity``) yields a new graph, and even
+      then every capacity-independent program pool-hits.
+    * every workload instance is shared across layers — all N ``fc``
+      nodes bind one :class:`Workload`, so the
+      :class:`~repro.serve.pool.ExecutablePool` compiles each program
+      once for the whole model;
+    * each layer additionally emits its freshly generated key/value rows
+      (``k_new_L{l}`` / ``v_new_L{l}``, sliced from the fused QKV
+      vector) as graph outputs, so a decode engine can append them to
+      the managed cache — the explicit cache-extension transfer — and
+      the next step attends over them.
+
+    Tensor naming: layer ``l`` reads hidden state ``h{l}`` (``h0`` is
+    aliased to the graph input ``x``) and writes ``h{l+1}``; weights are
+    ``w_qkv_L{l}``/``w_proj_L{l}``/``w_fc_L{l}``/``w_fc_proj_L{l}`` and
+    per-head caches ``k_cache_L{l}_h{h}`` / ``v_cache_t_L{l}_h{h}``, all
+    const (device-resident, staged per the weight-residency plan).
+    ``params`` overrides pinned schedule params by *generic* node name
+    (``"fc"``, ``"attn_score"``, ...), applied to every layer — per-layer
+    parameter splits would defeat the program sharing this graph exists
+    to provide.
+    """
+    if config.n_heads * config.head_dim != config.d_model:
+        raise ValueError(
+            f"{config.name}: n_heads*head_dim"
+            f" ({config.n_heads}*{config.head_dim}) must equal d_model"
+            f" ({config.d_model})"
+        )
+    if layers < 1:
+        raise ValueError(f"layers must be >= 1, got {layers}")
+    if capacity < 1:
+        raise ValueError(f"capacity must be >= 1, got {capacity}")
+    d, hd, heads = config.d_model, config.head_dim, config.n_heads
+    overrides = params or {}
+
+    def node_params(generic: str, wl: Workload) -> Optional[Dict[str, int]]:
+        if generic in overrides:
+            return overrides[generic]
+        return small_grid_params(wl) if pin_small_grids else None
+
+    g = ModelGraph(f"{config.name}-model-L{layers}-c{capacity}")
+    g.add_input("x", (d,))
+    g.add_input("attn_mask", (capacity,))
+    for layer in range(layers):
+        g.add_input(f"w_qkv_L{layer}", (3 * d, d), const=True)
+        g.add_input(f"w_proj_L{layer}", (d, d), const=True)
+        g.add_input(f"w_fc_L{layer}", (4 * d, d), const=True)
+        g.add_input(f"w_fc_proj_L{layer}", (d, 4 * d), const=True)
+        for h in range(heads):
+            g.add_input(f"k_cache_L{layer}_h{h}", (1, capacity, hd), const=True)
+            g.add_input(f"v_cache_t_L{layer}_h{h}", (hd, capacity), const=True)
+
+    # -- workloads shared by every layer (one compiled program each) --------
+    qkv_wl = fc_mtv(config, "qkv_gen")
+    proj_wl = fc_mtv(config, "qkv_proj")
+    fc_wl = fc_mtv(config, "fc")
+    fc_proj_wl = fc_mtv(config, "fc_proj")
+    score_wl = mmtv(1, capacity, hd)
+    score_wl.params.update({"model": config.name, "layer": "mha_score"})
+    value_wl = mtv(hd, capacity)
+    value_wl.params.update({"model": config.name, "layer": "mha_value"})
+    scale = float(np.sqrt(hd))
+
+    def masked_softmax_ref(s: np.ndarray, m: np.ndarray) -> np.ndarray:
+        z = s[0].astype(np.float32) / np.float32(scale) + m.astype(np.float32)
+        z = z - z.max()
+        e = np.exp(z)
+        return (e / e.sum()).astype(np.float32)
+
+    softmax_wl = _glue(
+        "masked_softmax",
+        [
+            te.placeholder((1, capacity), "float32", "S"),
+            te.placeholder((capacity,), "float32", "M"),
+        ],
+        (capacity,),
+        masked_softmax_ref,
+        flops=6.0 * capacity,
+        params={"capacity": capacity, "scale_dim": hd},
+    )
+    slice_q_wls = []
+    for h in range(heads):
+        off = h * hd
+        slice_q_wls.append(
+            _glue(
+                "slice_q",
+                [te.placeholder((3 * d,), "float32", "A")],
+                (1, hd),
+                lambda a, off=off: a[None, off:off + hd],
+                flops=0.0,
+                params={"offset": off, "width": hd},
+            )
+        )
+    slice_k_wl = _glue(
+        "slice_kv",
+        [te.placeholder((3 * d,), "float32", "A")],
+        (d,),
+        lambda a: a[d:2 * d],
+        flops=0.0,
+        params={"offset": d, "width": d},
+    )
+    slice_v_wl = _glue(
+        "slice_kv",
+        [te.placeholder((3 * d,), "float32", "A")],
+        (d,),
+        lambda a: a[2 * d:3 * d],
+        flops=0.0,
+        params={"offset": 2 * d, "width": d},
+    )
+    concat_wl = _glue(
+        "concat_heads",
+        [te.placeholder((hd,), "float32", f"H{h}") for h in range(heads)],
+        (d,),
+        lambda *hs: np.concatenate(hs).astype(np.float32),
+        flops=0.0,
+        params={"heads": heads, "width": hd},
+    )
+
+    def gelu_ref(a: np.ndarray) -> np.ndarray:
+        a = a.astype(np.float32)
+        c = np.float32(np.sqrt(2.0 / np.pi))
+        return (
+            np.float32(0.5) * a
+            * (np.float32(1.0) + np.tanh(c * (a + np.float32(0.044715) * a ** 3)))
+        ).astype(np.float32)
+
+    gelu_wl = _glue(
+        "gelu",
+        [te.placeholder((4 * d,), "float32", "A")],
+        (4 * d,),
+        gelu_ref,
+        flops=8.0 * 4 * d,
+        params={"n": 4 * d},
+    )
+    residual_wl = va(d)
+
+    # -- the token step: every layer, one new position ----------------------
+    for layer in range(layers):
+        L = f"L{layer}"
+        x_name = "x" if layer == 0 else f"h{layer}"
+        g.add_node(
+            f"{L}.qkv_gen", qkv_wl,
+            {"A": f"w_qkv_L{layer}", "B": x_name}, f"qkv_{L}",
+            params=node_params("qkv_gen", qkv_wl), tags=("attn",),
+        )
+        g.add_node(
+            f"{L}.slice_k", slice_k_wl, {"A": f"qkv_{L}"}, f"k_new_{L}",
+            tags=("attn", "glue", "kv"),
+        )
+        g.add_node(
+            f"{L}.slice_v", slice_v_wl, {"A": f"qkv_{L}"}, f"v_new_{L}",
+            tags=("attn", "glue", "kv"),
+        )
+        for h in range(heads):
+            g.add_node(
+                f"{L}.slice_q_{h}", slice_q_wls[h],
+                {"A": f"qkv_{L}"}, f"q_{L}_h{h}",
+                tags=("attn", "glue"),
+            )
+            g.add_node(
+                f"{L}.attn_score_{h}", score_wl,
+                {"A": f"k_cache_L{layer}_h{h}", "B": f"q_{L}_h{h}"},
+                f"score_{L}_h{h}",
+                params=node_params("attn_score", score_wl), tags=("attn",),
+            )
+            g.add_node(
+                f"{L}.softmax_{h}", softmax_wl,
+                {"S": f"score_{L}_h{h}", "M": "attn_mask"},
+                f"probs_{L}_h{h}",
+                tags=("attn", "glue"),
+            )
+            g.add_node(
+                f"{L}.attn_value_{h}", value_wl,
+                {"A": f"v_cache_t_L{layer}_h{h}", "B": f"probs_{L}_h{h}"},
+                f"head_{L}_h{h}",
+                params=node_params("attn_value", value_wl), tags=("attn",),
+            )
+        g.add_node(
+            f"{L}.concat_heads", concat_wl,
+            {f"H{h}": f"head_{L}_h{h}" for h in range(heads)},
+            f"attn_concat_{L}",
+            tags=("attn", "glue"),
+        )
+        g.add_node(
+            f"{L}.attn_proj", proj_wl,
+            {"A": f"w_proj_L{layer}", "B": f"attn_concat_{L}"},
+            f"attn_out_{L}",
+            params=node_params("attn_proj", proj_wl), tags=("attn",),
+        )
+        g.add_node(
+            f"{L}.fc", fc_wl, {"A": f"w_fc_L{layer}", "B": x_name},
+            f"ffn_hidden_{L}",
+            params=node_params("fc", fc_wl), tags=("ffn",),
+        )
+        g.add_node(
+            f"{L}.gelu", gelu_wl, {"A": f"ffn_hidden_{L}"}, f"ffn_act_{L}",
+            tags=("ffn", "glue"),
+        )
+        g.add_node(
+            f"{L}.fc_proj", fc_proj_wl,
+            {"A": f"w_fc_proj_L{layer}", "B": f"ffn_act_{L}"}, f"ffn_out_{L}",
+            params=node_params("fc_proj", fc_proj_wl), tags=("ffn",),
+        )
+        g.add_node(
+            f"{L}.residual_attn", residual_wl,
+            {"A": x_name, "B": f"attn_out_{L}"}, f"resid_{L}",
+            params=node_params("residual_attn", residual_wl), tags=("glue",),
+        )
+        g.add_node(
+            f"{L}.residual_out", residual_wl,
+            {"A": f"resid_{L}", "B": f"ffn_out_{L}"}, f"h{layer + 1}",
+            params=node_params("residual_out", residual_wl), tags=("glue",),
+        )
     g.validate()
     return g

@@ -152,6 +152,27 @@ class GraphExecutable(Executable):
         return self._exes[name][0]
 
     @property
+    def loaded_program_count(self) -> int:
+        """Programs this compile actually loaded (pool misses) rather
+        than found resident.  A decode loop watches this to prove
+        structure sharing: the first capacity epoch loads everything,
+        later epochs load only capacity-dependent attention programs,
+        and steps inside an epoch build no executable at all."""
+        return sum(1 for _, loaded in self._exes.values() if loaded)
+
+    def pool_keys(self) -> set:
+        """Residency keys of every (node, target, params) program this
+        graph binds — what a long-lived loop pins in the pool."""
+        from ..serve.pool import ExecutablePool
+
+        return {
+            ExecutablePool.key_for(
+                node.workload, self.placement[node.name], node.params
+            )
+            for node in self._order
+        }
+
+    @property
     def memory_plan(self):
         """Linear-scan intermediate-buffer plan (computed lazily)."""
         if self._plan is None:

@@ -19,7 +19,25 @@ from typing import Dict, List, Tuple
 
 from .ir import ModelGraph
 
-__all__ = ["SlotAssignment", "MemoryPlan", "plan_memory"]
+__all__ = ["SlotAssignment", "MemoryPlan", "plan_memory", "arena_stats"]
+
+
+def arena_stats(capacity: int, used: int) -> Dict[str, float]:
+    """Utilization/fragmentation summary of any fixed-capacity arena.
+
+    ``utilization`` is the fraction of the arena's capacity the live
+    working set actually occupies; ``fragmentation`` is the complement —
+    capacity held but not usable by the current occupants.  Shared by
+    the intermediate-buffer plan below (capacity = planned arena bytes,
+    used = serial live peak) and the paged KV-cache allocator in
+    :mod:`repro.decode.kv_cache` (capacity = allocated page tokens,
+    used = cached tokens), so both report residency waste in the same
+    vocabulary.  An empty arena is fully utilized by convention.
+    """
+    if capacity <= 0:
+        return {"utilization": 1.0, "fragmentation": 0.0}
+    utilization = used / capacity
+    return {"utilization": utilization, "fragmentation": 1.0 - utilization}
 
 
 @dataclass(frozen=True)
@@ -59,6 +77,22 @@ class MemoryPlan:
         """naive / arena — how much the planner shrank the footprint."""
         return self.naive_bytes / self.arena_bytes if self.arena_bytes else 1.0
 
+    @property
+    def utilization(self) -> float:
+        """Serial live peak / arena: how much of the planned arena the
+        schedule's working set actually fills (1.0 is a perfect pack)."""
+        return arena_stats(self.arena_bytes, self.peak_live_bytes)[
+            "utilization"
+        ]
+
+    @property
+    def fragmentation(self) -> float:
+        """1 - utilization: arena bytes held by slots but never
+        simultaneously live (best-fit padding, size-mismatched reuse)."""
+        return arena_stats(self.arena_bytes, self.peak_live_bytes)[
+            "fragmentation"
+        ]
+
     def slot_of(self, tensor: str) -> int:
         for a in self.assignments:
             if a.tensor == tensor:
@@ -76,6 +110,7 @@ class MemoryPlan:
             "slots": len(self.slot_sizes),
             "tensors": len(self.assignments),
             "reuse_ratio": self.reuse_ratio,
+            **arena_stats(self.arena_bytes, self.peak_live_bytes),
         }
 
 

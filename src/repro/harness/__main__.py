@@ -119,6 +119,30 @@ def run_experiment(name: str, args: argparse.Namespace):
     elif name == "sim_speed":
         data = experiments.sim_speed(seed=args.seed)
         _print_rows(data, "Simulator speed (scalar vs vector)")
+    elif name == "fig17" and args.layers > 1:
+        data = experiments.fig17_multilayer(
+            layers=args.layers, tokens=args.tokens, seed=args.seed
+        )
+        _print_rows(
+            data["rows"],
+            f"Fig 17 (full-model decode: {data['graph']},"
+            f" {args.tokens} tokens)",
+        )
+        _print_rows(
+            data["per_layer"],
+            "Fig 17: per-layer totals (compute / transfers / staging"
+            " / cache growth)",
+        )
+        print(
+            f"replans: {data['replans']} (page-boundary epochs);"
+            f" programs compiled: {data['compiled_programs']};"
+            f" residency: {data['residency']['stages']} stages /"
+            f" {data['residency']['evictions']} evictions"
+            f" ({data['residency_policy']},"
+            f" budget {data['mram_budget_layers']} layers);"
+            f" cache: {data['cache']['pages_allocated']} pages,"
+            f" fragmentation {data['cache']['fragmentation']:.3f}"
+        )
     elif name == "fig17":
         data = experiments.fig17_end_to_end(
             tokens=args.tokens, seed=args.seed
@@ -136,7 +160,8 @@ def run_experiment(name: str, args: argparse.Namespace):
             f"memory plan: arena {mem['arena_bytes']} B over"
             f" {mem['slots']} slots vs naive {mem['naive_bytes']} B"
             f" ({mem['reuse_ratio']:.2f}x reuse;"
-            f" peak live {mem['peak_live_bytes']} B)"
+            f" peak live {mem['peak_live_bytes']} B;"
+            f" utilization {mem['utilization']:.2f})"
         )
     else:
         raise SystemExit(f"unknown experiment {name!r}")
@@ -194,6 +219,7 @@ def write_json(path: str, results, args: argparse.Namespace) -> None:
             "parallel_measure": args.parallel_measure,
             "requests": args.requests,
             "tokens": args.tokens,
+            "layers": args.layers,
         },
     }
     with open(path, "w") as fh:
@@ -220,6 +246,11 @@ def main(argv=None) -> int:
         "--tokens", type=int, default=16, metavar="T",
         help="decode positions for the end-to-end graph experiment"
              " (fig17)",
+    )
+    parser.add_argument(
+        "--layers", type=int, default=1, metavar="N",
+        help="decoder layers for fig17; >1 switches to the full-model"
+             " decode engine (paged KV cache + weight residency)",
     )
     parser.add_argument(
         "--cache-stats", action="store_true",

@@ -864,3 +864,57 @@ def fig17_end_to_end(
         "graph": graph.name,
         "tokens": tokens,
     }
+
+
+def fig17_multilayer(
+    layers: int = 3,
+    tokens: int = 6,
+    prompt_tokens: int = 4,
+    page_tokens: int = 4,
+    config=None,
+    seed: int = 0,
+    policy: str = "upmem",
+    max_workers: Optional[int] = None,
+    mram_budget_layers: Optional[int] = None,
+    residency_policy: str = "belady",
+) -> Dict:
+    """Full-model decode: N layers x T tokens over managed device memory.
+
+    The :class:`~repro.decode.DecodeEngine` run behind
+    ``python -m repro.harness fig17 --layers N --tokens T``: per-step
+    and per-layer breakdowns of compute, boundary transfers, weight
+    stage/evict traffic and KV cache-extension transfers, with the
+    KV cache growing page by page (graphs rebuild only at page
+    boundaries, and even then only the capacity-sized attention
+    programs compile — ``compiled_programs`` per step proves it).
+
+    ``mram_budget_layers`` caps device weight residency in units of one
+    layer's weights; the default ``layers - 1`` (for ``layers > 1``)
+    deliberately undersizes the budget so the stage/evict schedule is
+    visible in the per-layer rows.  Every reported number is
+    deterministic: bit-for-bit identical at any ``max_workers``.
+    """
+    from ..decode import DecodeEngine
+    from ..graph.builder import GPTJ_SIM
+
+    cfg = config or GPTJ_SIM
+    if mram_budget_layers is None:
+        mram_budget_layers = layers - 1 if layers > 1 else 1
+    layer_nbytes = 12 * cfg.d_model * cfg.d_model * 4
+    engine = DecodeEngine(
+        config=cfg,
+        layers=layers,
+        page_tokens=page_tokens,
+        policy=policy,
+        max_workers=max_workers,
+        mram_budget_bytes=mram_budget_layers * layer_nbytes,
+        residency_policy=residency_policy,
+        seed=seed,
+    )
+    result = engine.decode(tokens=tokens, prompt_tokens=prompt_tokens)
+    payload = result.to_dict()
+    payload["rows"] = payload.pop("steps")
+    payload["graph"] = engine._epoch_graph.name
+    payload["mram_budget_layers"] = mram_budget_layers
+    payload["residency_policy"] = residency_policy
+    return payload

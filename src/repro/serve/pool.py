@@ -66,6 +66,7 @@ class ExecutablePool:
         self.db = db
         self.tune_trials = tune_trials
         self._entries: "OrderedDict[Tuple, Executable]" = OrderedDict()
+        self._pinned: set = set()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -134,7 +135,14 @@ class ExecutablePool:
         exe = self._compile(workload, target, params)
         self._entries[key] = exe
         while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+            victim = next(
+                (k for k in self._entries if k not in self._pinned), None
+            )
+            if victim is None:
+                # Every resident program is pinned: run over capacity
+                # rather than drop something a live decode loop holds.
+                break
+            del self._entries[victim]
             self.evictions += 1
         return exe, True
 
@@ -170,6 +178,29 @@ class ExecutablePool:
             loaded += int(was_loaded)
         return loaded
 
+    # -- residency control --------------------------------------------------
+    def pin(self, key: Tuple) -> None:
+        """Exempt ``key`` from LRU eviction until :meth:`unpin`.
+
+        A decode loop's current working set (the capacity-epoch attention
+        programs plus the capacity-independent FC/glue programs every
+        step reuses) must stay resident across thousands of steps even
+        while other traffic churns the pool; pinning models the MRAM
+        reservation a real deployment would hold for them.  Pinning a
+        key not (yet) resident is allowed — it takes effect when the key
+        is compiled.  If every resident entry is pinned the pool runs
+        over ``capacity`` instead of evicting.
+        """
+        self._pinned.add(key)
+
+    def unpin(self, key: Tuple) -> None:
+        """Release a pin; the entry rejoins the ordinary LRU order.
+        Unpinning an unknown key is a no-op."""
+        self._pinned.discard(key)
+
+    def pinned_keys(self) -> set:
+        return set(self._pinned)
+
     # -- introspection ------------------------------------------------------
     def __len__(self) -> int:
         return len(self._entries)
@@ -183,6 +214,7 @@ class ExecutablePool:
         return {
             "capacity": self.capacity,
             "resident": len(self._entries),
+            "pinned": len(self._pinned),
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,

@@ -64,12 +64,14 @@ def gptj_serving_mix(tokens: int = 16) -> Dict[str, MixEntry]:
     functional simulation per request); ``va``/``red`` are the paper's
     element-wise and reduction tensor ops as background traffic.
 
-    Each entry pins small-grid schedule params: a server executes every
-    request functionally, and the canonical max-parallelism defaults
-    (2048 DPUs) cost seconds of *simulator host time* per run without
-    changing the simulated-latency story this benchmark measures.
-    Small grids also leave idle DPU groups for a flush to replicate
-    across — exactly the regime a PIM server batches for.
+    Each entry still pins explicit schedule params (pinned params are
+    part of the batching key, so the benchmark's grouping story stays
+    deterministic), but at PR-6-era grid sizes: the vectorized
+    functional simulator executes the DPU grid as a lane axis, so a
+    64-DPU grid costs barely more host time than the 8-DPU grids the
+    scalar interpreter forced.  Grids stay well under the 2048-DPU
+    machine so a flush still replicates across idle DPU groups —
+    exactly the regime a PIM server batches for.
     """
     fc = mtv(128, 256)
     fc.params.update({"model": GPTJ_6B.name, "layer": "fc_scaled"})
@@ -77,10 +79,10 @@ def gptj_serving_mix(tokens: int = 16) -> Dict[str, MixEntry]:
         "mha_mmtv": MixEntry(
             mha_mmtv(GPTJ_6B, batch=1, tokens=tokens),
             {
-                "i_dpus": 8,
-                "j_dpus": 2,
+                "i_dpus": 16,
+                "j_dpus": 4,
                 "k_dpus": 1,
-                "n_tasklets": 4,
+                "n_tasklets": 8,
                 "cache": 256,
                 "host_threads": 4,
                 "unroll": 0,
@@ -89,9 +91,9 @@ def gptj_serving_mix(tokens: int = 16) -> Dict[str, MixEntry]:
         "fc_mtv": MixEntry(
             fc,
             {
-                "m_dpus": 8,
+                "m_dpus": 64,
                 "k_dpus": 1,
-                "n_tasklets": 4,
+                "n_tasklets": 8,
                 "cache": 128,
                 "host_threads": 2,
                 "unroll": 0,
@@ -99,13 +101,13 @@ def gptj_serving_mix(tokens: int = 16) -> Dict[str, MixEntry]:
         ),
         "va": MixEntry(
             va(32768),
-            {"n_dpus": 8, "n_tasklets": 4, "cache": 128, "unroll": 0},
+            {"n_dpus": 64, "n_tasklets": 8, "cache": 128, "unroll": 0},
         ),
         "red": MixEntry(
             red(32768),
             {
-                "n_dpus": 8,
-                "n_tasklets": 4,
+                "n_dpus": 64,
+                "n_tasklets": 8,
                 "cache": 128,
                 "dpu_combine": 0,
                 "host_threads": 2,

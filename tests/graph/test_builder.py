@@ -3,7 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.graph import GPTJ_SIM, gptj_decoder_graph, small_grid_params
+from repro.graph import (
+    GPTJ_SIM,
+    gptj_decoder_graph,
+    gptj_model_graph,
+    small_grid_params,
+)
 from repro.workloads import GPTJConfig, fc_shapes, mmtv, mtv, red, ttv, va
 
 from .conftest import TINY
@@ -110,9 +115,12 @@ class TestSmallGridParams:
         ids=lambda w: w.name,
     )
     def test_grids_stay_small_and_valid(self, workload):
+        # The cap grew 8 -> 64 once the vectorized backend made the
+        # whole grid one lane axis (PR 6 follow-up); it must still sit
+        # well under the 2048-DPU machine.
         params = small_grid_params(workload)
         dpus = [v for k, v in params.items() if k.endswith("dpus")]
-        assert all(1 <= v <= 8 for v in dpus)
+        assert all(1 <= v <= 64 for v in dpus)
         assert params["n_tasklets"] <= 4
         # Every grid dimension fits the workload's extent.
         if workload.name in ("mtv", "gemv"):
@@ -128,3 +136,105 @@ class TestSmallGridParams:
 
         with pytest.raises(KeyError):
             small_grid_params(Fake())
+
+
+class TestModelGraph:
+    def test_layers_chain_through_hidden_states(self):
+        g = gptj_model_graph(TINY, layers=3, capacity=8)
+        per_layer = 8 + 4 * TINY.n_heads + 2  # decoder nodes + k/v slices
+        assert len(g) == 3 * per_layer
+        assert g.output_names == [
+            "k_new_L0", "v_new_L0", "k_new_L1", "v_new_L1",
+            "k_new_L2", "v_new_L2", "h3",
+        ]
+        # Layer l consumes h{l} (h0 aliased to the input "x").
+        fc1 = next(n for n in g.nodes if n.name == "L1.fc")
+        assert dict(
+            (w, t) for w, t, _ in fc1.input_bindings()
+        )["B"] == "h1"
+
+    def test_workloads_shared_across_layers(self):
+        """Every layer binds the SAME workload instances — the pool
+        compiles each program once for the whole model."""
+        g = gptj_model_graph(TINY, layers=4, capacity=8)
+        by_role = {}
+        for node in g.nodes:
+            role = node.name.split(".", 1)[1]
+            by_role.setdefault(role, set()).add(id(node.workload))
+        for role, ids in by_role.items():
+            assert len(ids) == 1, f"{role} not shared across layers"
+
+    def test_signature_stable_within_capacity(self):
+        a = gptj_model_graph(TINY, layers=2, capacity=8)
+        b = gptj_model_graph(TINY, layers=2, capacity=8)
+        c = gptj_model_graph(TINY, layers=2, capacity=12)
+        assert a.structural_signature() == b.structural_signature()
+        assert a.structural_signature() != c.structural_signature()
+
+    def test_capacity_sizes_attention_not_sequence_length(self):
+        g = gptj_model_graph(TINY, layers=1, capacity=12)
+        score = next(n for n in g.nodes if n.name == "L0.attn_score_0")
+        assert score.workload.shape == (1, 12, TINY.head_dim)
+        assert g.tensor_nbytes("attn_mask") == 12 * 4
+
+    def test_mask_folds_into_softmax_reference(self):
+        g = gptj_model_graph(TINY, layers=1, capacity=8)
+        ins = g.random_inputs(3)
+        # Mask off the last 3 positions; their cache rows must then be
+        # irrelevant to every output.
+        mask = np.zeros((8,), dtype=np.float32)
+        mask[5:] = -np.inf
+        ins["attn_mask"] = mask
+        out_a = g.reference_outputs(ins)
+        for h in range(TINY.n_heads):
+            ins[f"k_cache_L0_h{h}"] = ins[f"k_cache_L0_h{h}"].copy()
+            ins[f"k_cache_L0_h{h}"][:, 5:] = 9.9
+            ins[f"v_cache_t_L0_h{h}"] = ins[f"v_cache_t_L0_h{h}"].copy()
+            ins[f"v_cache_t_L0_h{h}"][:, 5:] = -7.7
+        out_b = g.reference_outputs(ins)
+        for name in out_a:
+            np.testing.assert_array_equal(out_a[name], out_b[name])
+
+    def test_kv_outputs_slice_the_fused_qkv(self):
+        g = gptj_model_graph(TINY, layers=2, capacity=8)
+        ins = g.random_inputs(5)
+        env = g.reference_outputs(ins, all_tensors=True)
+        d = TINY.d_model
+        np.testing.assert_array_equal(
+            env["k_new_L0"], env["qkv_L0"][d:2 * d]
+        )
+        np.testing.assert_array_equal(
+            env["v_new_L1"], env["qkv_L1"][2 * d:3 * d]
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="layers"):
+            gptj_model_graph(TINY, layers=0, capacity=8)
+        with pytest.raises(ValueError, match="capacity"):
+            gptj_model_graph(TINY, layers=1, capacity=0)
+        bad = GPTJConfig("bad", n_heads=3, d_model=32, head_dim=16)
+        with pytest.raises(ValueError, match="must equal d_model"):
+            gptj_model_graph(bad, layers=1, capacity=8)
+
+    def test_single_layer_matches_decoder_reference(self):
+        """One model-graph layer with a full-length mask computes the
+        same attention+FF math as the single-layer decoder builder."""
+        g = gptj_model_graph(TINY, layers=1, capacity=4)
+        legacy = gptj_decoder_graph(TINY, tokens=4)
+        ins_legacy = legacy.random_inputs(11)
+        ins = {
+            "x": ins_legacy["x"],
+            "attn_mask": np.zeros((4,), dtype=np.float32),
+            "w_qkv_L0": ins_legacy["w_qkv"],
+            "w_proj_L0": ins_legacy["w_proj"],
+            "w_fc_L0": ins_legacy["w_fc"],
+            "w_fc_proj_L0": ins_legacy["w_fc_proj"],
+        }
+        for h in range(TINY.n_heads):
+            ins[f"k_cache_L0_h{h}"] = ins_legacy[f"k_cache_{h}"]
+            ins[f"v_cache_t_L0_h{h}"] = ins_legacy[f"v_cache_t_{h}"]
+        np.testing.assert_allclose(
+            g.reference_outputs(ins)["h1"],
+            legacy.reference_outputs(ins_legacy)["y"],
+            rtol=1e-5,
+        )

@@ -76,6 +76,37 @@ class TestLinearScan:
         assert set(payload) == {
             "arena_bytes", "naive_bytes", "peak_live_bytes",
             "weight_bytes", "input_bytes", "slots", "tensors",
-            "reuse_ratio",
+            "reuse_ratio", "utilization", "fragmentation",
         }
         assert payload["tensors"] == len(tiny_decoder.nodes)
+
+    def test_utilization_and_fragmentation(self, tiny_decoder):
+        plan = plan_memory(tiny_decoder)
+        assert plan.utilization == plan.peak_live_bytes / plan.arena_bytes
+        assert plan.fragmentation == 1.0 - plan.utilization
+        assert 0.0 < plan.utilization <= 1.0
+        payload = plan.to_dict()
+        assert payload["utilization"] == plan.utilization
+        assert payload["fragmentation"] == plan.fragmentation
+
+    def test_perfectly_packed_chain_has_no_fragmentation(self):
+        # The VA chain ping-pongs two equal-size slots, both live at the
+        # peak: the arena is exactly the working set.
+        plan = plan_memory(_linear(6))
+        assert plan.utilization == 1.0
+        assert plan.fragmentation == 0.0
+
+
+class TestArenaStats:
+    def test_shared_vocabulary(self):
+        from repro.graph.memory import arena_stats
+
+        stats = arena_stats(100, 75)
+        assert stats == {"utilization": 0.75, "fragmentation": 0.25}
+
+    def test_empty_arena_is_fully_utilized_by_convention(self):
+        from repro.graph.memory import arena_stats
+
+        assert arena_stats(0, 0) == {
+            "utilization": 1.0, "fragmentation": 0.0,
+        }

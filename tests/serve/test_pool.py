@@ -118,6 +118,61 @@ class TestResidency:
         np.testing.assert_allclose(out, wl.reference_output(ins), rtol=1e-3)
 
 
+class TestPinning:
+    def test_pinned_entries_survive_lru_pressure(self):
+        pool = ExecutablePool(capacity=2)
+        a, b, c = mtv(32, 64), va(1024), mtv(16, 32)
+        key_a = ExecutablePool.key_for(a, "upmem", MTV_PARAMS)
+        pool.get(a, "upmem", MTV_PARAMS)
+        pool.pin(key_a)
+        pool.get(b, "upmem", VA_PARAMS)
+        pool.get(c, "upmem", MTV_PARAMS)  # would evict A as LRU victim
+        assert pool.evictions == 1  # B went instead
+        _, reload_a = pool.get(a, "upmem", MTV_PARAMS)
+        assert not reload_a
+        _, reload_b = pool.get(b, "upmem", VA_PARAMS)
+        assert reload_b
+
+    def test_all_pinned_runs_over_capacity(self):
+        pool = ExecutablePool(capacity=1)
+        specs = [
+            (mtv(32, 64), MTV_PARAMS),
+            (va(1024), VA_PARAMS),
+            (mtv(16, 32), MTV_PARAMS),
+        ]
+        for wl, params in specs:
+            pool.pin(ExecutablePool.key_for(wl, "upmem", params))
+            pool.get(wl, "upmem", params)
+        assert len(pool) == 3  # over capacity, nothing evictable
+        assert pool.evictions == 0
+        assert pool.stats()["pinned"] == 3
+
+    def test_unpin_rejoins_lru_order(self):
+        pool = ExecutablePool(capacity=2)
+        a, b = mtv(32, 64), va(1024)
+        key_a = ExecutablePool.key_for(a, "upmem", MTV_PARAMS)
+        pool.pin(key_a)
+        pool.get(a, "upmem", MTV_PARAMS)
+        pool.get(b, "upmem", VA_PARAMS)
+        pool.unpin(key_a)
+        # A is now the least-recently-used evictable entry again.
+        pool.get(va(2048), "upmem", VA_PARAMS)
+        assert pool.evictions == 1
+        _, reload_a = pool.get(a, "upmem", MTV_PARAMS)
+        assert reload_a  # A was the victim
+        assert pool.pinned_keys() == set()
+
+    def test_pin_before_compile_and_unknown_unpin(self):
+        pool = ExecutablePool(capacity=1)
+        wl = va(1024)
+        key = ExecutablePool.key_for(wl, "upmem", VA_PARAMS)
+        pool.pin(key)  # not yet resident: allowed
+        pool.get(wl, "upmem", VA_PARAMS)
+        assert pool.pinned_keys() == {key}
+        pool.unpin(("not", "a", "key"))  # no-op
+        assert pool.stats()["pinned"] == 1
+
+
 class TestPrewarm:
     def test_prewarm_counts_new_compiles(self):
         pool = ExecutablePool(capacity=4)
