@@ -31,7 +31,11 @@ Walks the ATiM flow around the single entry point
    tokens over a paged KV cache that grows without replanning the graph
    and a weight-residency planner staging/evicting layers under an MRAM
    budget — per-step and per-layer transfer breakdowns, bit-for-bit at
-   any worker count.
+   any worker count;
+8. trace a decode run with ``repro.obs``: scope a virtual-clock
+   ``Tracer`` over the run, inspect the top spans by simulated
+   duration, and export a Chrome trace-event JSON that loads in
+   Perfetto — byte-identical at any worker count.
 
 Run:  python examples/quickstart.py
 """
@@ -299,6 +303,39 @@ def decode() -> None:
     )
 
 
+def tracing() -> None:
+    # 8. Observability: scope a virtual-clock Tracer over any run and
+    #    every subsystem reports into it — per-pass compile spans, pool
+    #    hits/misses, per-node graph breakdowns, per-step/per-layer
+    #    decode spans, KV-cache appends and weight staging.  Times are
+    #    *simulated* seconds from the performance model, so the same
+    #    run always produces the same trace, byte-for-byte, at any
+    #    thread count.
+    from repro.decode import DecodeEngine
+    from repro.obs import Tracer, use_tracer, write_chrome_trace
+    from repro.workloads import GPTJConfig
+
+    config = GPTJConfig("gptj-demo", n_heads=2, d_model=32, head_dim=16)
+    tracer = Tracer()
+    with use_tracer(tracer):
+        engine = DecodeEngine(config=config, layers=2, page_tokens=4)
+        engine.decode(tokens=3, prompt_tokens=4)
+
+    print("--- top 5 spans by simulated duration ---")
+    for span in tracer.top_spans(5):
+        print(
+            f"{span.dur*1e3:9.3f} ms  {span.track:10s} {span.name}"
+        )
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "decode_trace.json")
+        payload = write_chrome_trace(tracer, path)
+        print(
+            f"exported {len(payload['traceEvents'])} Chrome trace events"
+            f" across {len(tracer.tracks())} tracks"
+            " (load the JSON in Perfetto / chrome://tracing)"
+        )
+
+
 def main() -> None:
     compile_workload()
     print()
@@ -313,6 +350,8 @@ def main() -> None:
     model_graphs()
     print()
     decode()
+    print()
+    tracing()
 
 
 if __name__ == "__main__":

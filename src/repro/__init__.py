@@ -38,6 +38,8 @@ from .upmem import DEFAULT_CONFIG, UpmemConfig
 from . import serve
 from . import graph
 from .graph import ModelGraph
+from . import obs
+from .obs import Tracer, use_tracer
 
 __version__ = "0.3.0"
 
@@ -64,6 +66,9 @@ __all__ = [
     "serve",
     "graph",
     "ModelGraph",
+    "obs",
+    "Tracer",
+    "use_tracer",
     "compile",
     "Target",
     "TargetError",

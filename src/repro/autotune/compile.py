@@ -89,7 +89,27 @@ class CompileEngine:
             pipeline=self.pipeline,
             target=target,
         )
+        from ..obs import current_tracer
+
+        tracer = current_tracer()
         artifact = self.cache.get(key)
+        if tracer.enabled:
+            tracer.instant(
+                f"artifact-cache {'miss' if artifact is None else 'hit'}",
+                track="pipeline",
+                cat="compile",
+                args={
+                    "workload": workload.name,
+                    "opt_level": optimize,
+                    "key": key[:12],
+                },
+            )
+            tracer.metrics.counter("compile.cache").inc(
+                labels={
+                    "outcome": "miss" if artifact is None else "hit",
+                    "workload": workload.name,
+                }
+            )
         if artifact is None:
             artifact = self.cache.put(
                 self._compile(key, workload, params, optimize, config)

@@ -34,6 +34,7 @@ import numpy as np
 
 from ..graph import GraphExecutable, gptj_model_graph, place, plan_memory
 from ..graph.builder import GPTJ_SIM
+from ..obs import current_tracer
 from ..serve.pool import ExecutablePool
 from ..upmem.config import UpmemConfig
 from ..workloads.gptj import GPTJConfig
@@ -287,15 +288,21 @@ class DecodeEngine:
             )
         d = self.config.d_model
         events: List[CacheExtension] = []
-        for _ in range(prompt_tokens):
-            rows = [
-                (
-                    self._rng.standard_normal((d,), dtype=np.float32),
-                    self._rng.standard_normal((d,), dtype=np.float32),
-                )
-                for _ in range(self.layers)
-            ]
-            events.extend(self.cache.append("seq0", rows))
+        with current_tracer().span(
+            "prefill",
+            track="decode",
+            cat="decode",
+            args={"tokens": prompt_tokens},
+        ):
+            for _ in range(prompt_tokens):
+                rows = [
+                    (
+                        self._rng.standard_normal((d,), dtype=np.float32),
+                        self._rng.standard_normal((d,), dtype=np.float32),
+                    )
+                    for _ in range(self.layers)
+                ]
+                events.extend(self.cache.append("seq0", rows))
         return events
 
     # -- epoch management ----------------------------------------------------
@@ -308,44 +315,54 @@ class DecodeEngine:
         set and unpin programs the retired epoch no longer needs."""
         if capacity == self._epoch_capacity and self._epoch_exe is not None:
             return self._epoch_exe, 0, False
-        graph = gptj_model_graph(
-            self.config,
-            layers=self.layers,
-            capacity=capacity,
-            params=self.params,
-            pin_small_grids=self.pin_small_grids,
-        )
-        placement = place(
-            graph, policy=self.policy,
-            pim=self.target, host=self.host_target,
-        )
-        # Pin the epoch's working set BEFORE compiling: pinning after
-        # the fact would let a small pool evict the epoch's own
-        # programs while later nodes of the same graph still compile.
-        keys = {
-            ExecutablePool.key_for(
-                node.workload, placement[node.name], node.params
+        tracer = current_tracer()
+        # An epoch rebuild is host-side compile work: zero virtual
+        # duration, but the span brackets every pool pin/load event the
+        # rebuild generates on the "pool" track.
+        with tracer.span(
+            f"epoch capacity={capacity}",
+            track="decode",
+            cat="decode",
+            args={"layers": self.layers, "capacity": capacity},
+        ):
+            graph = gptj_model_graph(
+                self.config,
+                layers=self.layers,
+                capacity=capacity,
+                params=self.params,
+                pin_small_grids=self.pin_small_grids,
             )
-            for node in graph.nodes
-        }
-        for key in keys:
-            self.pool.pin(key)
-        exe = GraphExecutable(
-            graph,
-            placement,
-            target=self.target,
-            pool=self.pool,
-            max_workers=self.max_workers,
-        )
-        for stale in self._epoch_keys - keys:
-            self.pool.unpin(stale)
-        self._epoch_keys = keys
-        self._epoch_capacity = capacity
-        self._epoch_exe = exe
-        self._epoch_graph = graph
-        self._epoch_layer_costs, self._epoch_step_costs = (
-            self._profile_costs(exe)
-        )
+            placement = place(
+                graph, policy=self.policy,
+                pim=self.target, host=self.host_target,
+            )
+            # Pin the epoch's working set BEFORE compiling: pinning after
+            # the fact would let a small pool evict the epoch's own
+            # programs while later nodes of the same graph still compile.
+            keys = {
+                ExecutablePool.key_for(
+                    node.workload, placement[node.name], node.params
+                )
+                for node in graph.nodes
+            }
+            for key in sorted(keys, key=repr):
+                self.pool.pin(key)
+            exe = GraphExecutable(
+                graph,
+                placement,
+                target=self.target,
+                pool=self.pool,
+                max_workers=self.max_workers,
+            )
+            for stale in sorted(self._epoch_keys - keys, key=repr):
+                self.pool.unpin(stale)
+            self._epoch_keys = keys
+            self._epoch_capacity = capacity
+            self._epoch_exe = exe
+            self._epoch_graph = graph
+            self._epoch_layer_costs, self._epoch_step_costs = (
+                self._profile_costs(exe)
+            )
         return exe, exe.loaded_program_count, True
 
     def _profile_costs(
@@ -384,6 +401,24 @@ class DecodeEngine:
             raise RuntimeError("call prefill() before decoding")
         capacity = self.cache.capacity("seq0")
         position = self.cache.length("seq0")
+        tracer = current_tracer()
+        step_span = tracer.span(
+            f"step {self._global_step}",
+            track="decode",
+            cat="decode",
+            args={"position": position, "capacity": capacity},
+        )
+        step_span.__enter__()
+        try:
+            return self._step_body(
+                capacity, position, tracer, step_span
+            )
+        finally:
+            step_span.__exit__(None, None, None)
+
+    def _step_body(
+        self, capacity: int, position: int, tracer: Any, step_span: Any
+    ) -> StepReport:
         exe, compiled, replanned = self._ensure_epoch(capacity)
         graph = self._epoch_graph
 
@@ -436,6 +471,30 @@ class DecodeEngine:
                 e.seconds for e in cache_events if e.layer == layer
             )
             per_layer.append(entry)
+
+        if tracer.enabled:
+            # Per-layer breakdown spans inside the step, then the graph's
+            # per-node compute/H2D/D2H replay on its own track.  The layer
+            # spans sum to the step's total, so the enclosing step span
+            # covers exactly StepReport.total_s of virtual time.
+            for entry in per_layer:
+                tracer.timed_span(
+                    f"layer {entry['layer']}",
+                    track="decode",
+                    cat="decode",
+                    dur_s=(
+                        entry["compute_s"] + entry["h2d_s"] + entry["d2h_s"]
+                        + entry["staging_s"] + entry["cache_growth_s"]
+                    ),
+                    args={
+                        "compute_ms": entry["compute_s"] * 1e3,
+                        "h2d_ms": entry["h2d_s"] * 1e3,
+                        "d2h_ms": entry["d2h_s"] * 1e3,
+                        "staging_ms": entry["staging_s"] * 1e3,
+                        "cache_growth_ms": entry["cache_growth_s"] * 1e3,
+                    },
+                )
+            exe.trace(tracer, name=f"step {self._global_step} graph")
 
         report = StepReport(
             step=self._global_step,

@@ -239,6 +239,23 @@ class PagedKVCache:
             new_events.append(event)
         self._lengths[sequence] = position + 1
         self.events.extend(new_events)
+        from ..obs import current_tracer
+
+        tracer = current_tracer()
+        if tracer.enabled:
+            for event in new_events:
+                tracer.timed_span(
+                    f"kv.append L{event.layer}",
+                    track="kv-cache",
+                    cat="kv",
+                    dur_s=event.seconds,
+                    args={
+                        "sequence": event.sequence,
+                        "position": event.position,
+                        "nbytes": event.nbytes,
+                        "pages": list(event.pages_allocated),
+                    },
+                )
         return new_events
 
     @staticmethod

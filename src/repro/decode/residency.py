@@ -160,6 +160,26 @@ class WeightResidencyPlanner:
             )
         )
         self.events.extend(new_events)
+        from ..obs import current_tracer
+
+        tracer = current_tracer()
+        if tracer.enabled:
+            for event in new_events:
+                if event.action == "stage":
+                    tracer.timed_span(
+                        f"stage L{event.layer}",
+                        track="residency",
+                        cat="residency",
+                        dur_s=event.seconds,
+                        args={"step": event.step, "nbytes": event.nbytes},
+                    )
+                else:  # evictions are free: a point, not an extent
+                    tracer.instant(
+                        f"evict L{event.layer}",
+                        track="residency",
+                        cat="residency",
+                        args={"step": event.step, "nbytes": event.nbytes},
+                    )
         return new_events
 
     def plan(self, steps: int) -> List[StageEvent]:

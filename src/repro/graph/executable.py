@@ -228,6 +228,64 @@ class GraphExecutable(Executable):
             self._profile = self._build_profile()
         return self._profile
 
+    def trace(
+        self,
+        tracer: Optional[Any] = None,
+        track: str = "graph",
+        include_staging: bool = True,
+        name: Optional[str] = None,
+    ) -> None:
+        """Replay the profiled cost breakdown into a tracer as spans.
+
+        One wrapping span for the whole graph, one child span per node
+        in topological order, with H2D / compute / D2H sub-spans — the
+        virtual-clock timeline of a single run.  Spans are emitted from
+        the calling thread in deterministic topological order (never
+        from the execution fan-out), so traced output is identical at
+        any ``max_workers``.  Uses the ambient tracer when ``tracer`` is
+        not given; a no-op when tracing is disabled.
+        """
+        from ..obs import current_tracer
+
+        tracer = tracer if tracer is not None else current_tracer()
+        if not tracer.enabled:
+            return
+        profile = self.profile()
+        with tracer.span(
+            name or f"graph {self.graph.name}",
+            track=track,
+            cat="graph",
+            args={
+                "nodes": len(profile.nodes),
+                "total_ms": profile.total * 1e3,
+                "staging_ms": profile.staging_s * 1e3,
+            },
+        ):
+            for cost in profile.nodes:
+                with tracer.span(
+                    cost.node,
+                    track=track,
+                    cat="graph",
+                    args={"op": cost.op, "target": cost.target},
+                ):
+                    if include_staging and cost.staging_s > 0:
+                        tracer.timed_span(
+                            "staging", track=track, cat="graph",
+                            dur_s=cost.staging_s,
+                        )
+                    if cost.h2d_s > 0:
+                        tracer.timed_span(
+                            "h2d", track=track, cat="graph", dur_s=cost.h2d_s
+                        )
+                    tracer.timed_span(
+                        "compute", track=track, cat="graph",
+                        dur_s=cost.compute_s,
+                    )
+                    if cost.d2h_s > 0:
+                        tracer.timed_span(
+                            "d2h", track=track, cat="graph", dur_s=cost.d2h_s
+                        )
+
     @property
     def latency(self) -> float:
         """First-run end-to-end seconds (includes weight staging; see

@@ -11,11 +11,20 @@ Usage::
     python -m repro.harness fig15 --db results/tune.jsonl --resume \
         --parallel-measure 4
     python -m repro.harness fig16 --requests 64 --json BENCH_fig16.json
+    python -m repro.harness fig17 --layers 3 --tokens 5 \
+        --trace BENCH_fig17_trace.json
 
 ``--json`` writes the raw figure rows plus compile-cache and
 tuning-database statistics as machine-readable JSON
-(``BENCH_*.json``-style), so successive runs can be diffed to track the
-performance trajectory across PRs.
+(``BENCH_*.json``-style, with a ``schema_version`` field), so
+successive runs can be diffed to track the performance trajectory
+across PRs.
+
+``--trace PATH`` records every experiment in the run into a
+:mod:`repro.obs` virtual-clock tracer and writes a Chrome trace-event
+JSON — deterministic (bit-for-bit identical at any ``--max-workers``)
+and viewable in Perfetto.  ``--trace-jsonl PATH`` additionally dumps
+the flat event log.
 
 ``--db PATH`` appends every measured tuning candidate to a persistent
 JSON-lines database; ``--resume`` warm-starts searches from it (an
@@ -121,7 +130,8 @@ def run_experiment(name: str, args: argparse.Namespace):
         _print_rows(data, "Simulator speed (scalar vs vector)")
     elif name == "fig17" and args.layers > 1:
         data = experiments.fig17_multilayer(
-            layers=args.layers, tokens=args.tokens, seed=args.seed
+            layers=args.layers, tokens=args.tokens, seed=args.seed,
+            max_workers=args.max_workers,
         )
         _print_rows(
             data["rows"],
@@ -145,7 +155,8 @@ def run_experiment(name: str, args: argparse.Namespace):
         )
     elif name == "fig17":
         data = experiments.fig17_end_to_end(
-            tokens=args.tokens, seed=args.seed
+            tokens=args.tokens, seed=args.seed,
+            max_workers=args.max_workers,
         )
         _print_rows(
             data["rows"],
@@ -190,11 +201,18 @@ def _jsonable(obj):
     return repr(obj)
 
 
+#: Version of the ``--json`` dump layout.  Bump when the payload's
+#: structure changes so downstream tooling can detect format drift.
+#: History: 1 = implicit/unversioned (PRs 1-7); 2 = adds this field.
+JSON_SCHEMA_VERSION = 2
+
+
 def write_json(path: str, results, args: argparse.Namespace) -> None:
     """Dump figure rows + compile/tuning cache stats as JSON."""
     stats = experiments.compile_cache_stats()
     measure = experiments.measure_cache_stats()
     payload = {
+        "schema_version": JSON_SCHEMA_VERSION,
         "experiments": _jsonable(results),
         "cache_stats": {
             "hits": stats.hits,
@@ -261,6 +279,22 @@ def main(argv=None) -> int:
         help="also dump figure rows + cache stats as JSON to PATH",
     )
     parser.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="write a Chrome trace-event JSON of the run to PATH"
+             " (virtual-clock spans; loads in Perfetto /"
+             " chrome://tracing)",
+    )
+    parser.add_argument(
+        "--trace-jsonl", metavar="PATH", default=None,
+        help="also write the raw trace events as JSON-lines to PATH",
+    )
+    parser.add_argument(
+        "--max-workers", type=int, default=None, metavar="N",
+        help="host thread-pool width for graph/decode experiments"
+             " (fig17); results and traces are bit-for-bit identical"
+             " at any value",
+    )
+    parser.add_argument(
         "--db", metavar="PATH", default=None,
         help="persistent tuning database (JSON-lines); measured"
              " candidates append to it as the search runs",
@@ -280,9 +314,31 @@ def main(argv=None) -> int:
         parser.error("--resume requires --db PATH")
 
     names = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
+    from ..obs import Tracer, use_tracer
+
+    tracer = Tracer() if (args.trace or args.trace_jsonl) else None
     results = {}
-    for name in names:
-        results[name] = run_experiment(name, args)
+    with use_tracer(tracer):
+        for name in names:
+            results[name] = run_experiment(name, args)
+    if args.trace:
+        from ..obs import trace_lint, write_chrome_trace
+
+        payload = write_chrome_trace(tracer, args.trace)
+        print(
+            f"wrote Chrome trace ({len(tracer.events)} events,"
+            f" {len(tracer.tracks())} tracks) to {args.trace}"
+        )
+        problems = trace_lint(payload)
+        if problems:
+            for problem in problems:
+                print(f"trace-lint: {problem}", file=sys.stderr)
+            return 1
+    if args.trace_jsonl:
+        from ..obs import write_jsonl
+
+        count = write_jsonl(tracer, args.trace_jsonl)
+        print(f"wrote {count} trace events to {args.trace_jsonl}")
     if args.json:
         write_json(args.json, results, args)
         print(f"wrote JSON results to {args.json}")

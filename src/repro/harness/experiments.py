@@ -834,6 +834,9 @@ def fig17_end_to_end(
             graph, placement=placement, max_workers=max_workers
         )
         profile = exe.profile()
+        # Replay this placement's cost breakdown into the ambient tracer
+        # (a no-op unless the harness installed one via --trace).
+        exe.trace(name=f"fig17 {policy}")
         matches = None
         if execute:
             (out,) = exe.run(inputs)

@@ -1,0 +1,13 @@
+"""``python -m repro.obs TRACE.json`` — run the trace lint.
+
+Same checks as ``python -m repro.obs.lint`` without runpy's
+already-imported-submodule warning (the package imports ``lint`` at
+init time).
+"""
+
+import sys
+
+from .lint import main
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

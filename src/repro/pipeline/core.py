@@ -222,26 +222,64 @@ class PassManager:
 
     # -- execution ----------------------------------------------------------
     def run(self, obj: Any, ctx: Optional[PassContext] = None) -> Any:
+        from ..obs import current_tracer
+
+        tracer = current_tracer()
         ctx = ctx or PassContext.current() or PassContext()
         with ctx:
-            for p in self.passes:
-                if not p.enabled(ctx):
-                    ctx.timings.append(PassTiming(p.name, 0.0, skipped=True))
-                    continue
-                for ins in ctx.instruments:
-                    ins.run_before_pass(p.name, obj, ctx)
-                start = time.perf_counter()
-                out = p.run(obj, ctx)
-                if out is None:
-                    raise PipelineError(
-                        f"pass {p.name!r} in pipeline {self.name!r} returned None"
-                    )
-                obj = out
-                ctx.timings.append(PassTiming(p.name, time.perf_counter() - start))
-                if ctx.dump_ir:
-                    ctx.ir_dumps.append((p.name, _snapshot(obj)))
-                for ins in ctx.instruments:
-                    ins.run_after_pass(p.name, obj, ctx)
+            # Compilation is host work: passes occupy zero virtual time,
+            # so the trace records order/structure (plus wall_ms when the
+            # tracer opts into wall-clock capture), not fake durations.
+            pipeline_span = (
+                tracer.span(
+                    f"pipeline {self.name}",
+                    track="pipeline",
+                    cat="compile",
+                    args={"pipeline": self.name, "module": ctx.module_name},
+                )
+                if tracer.enabled
+                else None
+            )
+            if pipeline_span is not None:
+                pipeline_span.__enter__()
+            try:
+                for p in self.passes:
+                    if not p.enabled(ctx):
+                        ctx.timings.append(PassTiming(p.name, 0.0, skipped=True))
+                        if tracer.enabled:
+                            tracer.instant(
+                                f"skip {p.name}", track="pipeline", cat="compile"
+                            )
+                        continue
+                    for ins in ctx.instruments:
+                        ins.run_before_pass(p.name, obj, ctx)
+                    start = time.perf_counter()
+                    out = p.run(obj, ctx)
+                    if out is None:
+                        raise PipelineError(
+                            f"pass {p.name!r} in pipeline {self.name!r} returned None"
+                        )
+                    obj = out
+                    wall = time.perf_counter() - start
+                    ctx.timings.append(PassTiming(p.name, wall))
+                    if tracer.enabled:
+                        args = {"opt_level": ctx.opt_level}
+                        if tracer.wall_clock:
+                            args["wall_ms"] = wall * 1e3
+                        tracer.timed_span(
+                            p.name,
+                            track="pipeline",
+                            cat="compile",
+                            dur_s=0.0,
+                            args=args,
+                        )
+                    if ctx.dump_ir:
+                        ctx.ir_dumps.append((p.name, _snapshot(obj)))
+                    for ins in ctx.instruments:
+                        ins.run_after_pass(p.name, obj, ctx)
+            finally:
+                if pipeline_span is not None:
+                    pipeline_span.__exit__(None, None, None)
         return obj
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -10,7 +10,7 @@ returns a JSON-safe dict the harness embeds in its ``--json`` dumps.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Union
 
 __all__ = ["LatencyStats", "ServerMetrics"]
 
@@ -45,7 +45,16 @@ class LatencyStats:
         return sum(self._values) / len(self._values)
 
     def percentile(self, p: float) -> float:
-        """Nearest-rank percentile, ``p`` in [0, 100]."""
+        """Nearest-rank percentile, ``p`` in [0, 100].
+
+        ``percentile(0)`` is defined as the sample **minimum** (and
+        ``percentile(100)`` the maximum) — the nearest-rank rank formula
+        clamps to rank 1, and that contract is explicit so dashboards
+        can rely on ``p0``/``p100`` as min/max.  An empty sample returns
+        0.0 for any ``p``; ``p`` outside [0, 100] raises.
+        """
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile p must be in [0, 100], got {p}")
         if not self._values:
             return 0.0
         if not self._sorted:
@@ -53,6 +62,58 @@ class LatencyStats:
             self._sorted = True
         rank = max(1, math.ceil(p / 100.0 * len(self._values)))
         return self._values[min(rank, len(self._values)) - 1]
+
+    @property
+    def min(self) -> float:
+        """Sample minimum (== ``percentile(0)``); 0.0 when empty."""
+        return self.percentile(0)
+
+    @property
+    def max(self) -> float:
+        """Sample maximum (== ``percentile(100)``); 0.0 when empty."""
+        return self.percentile(100)
+
+    def histogram(
+        self, bins: Union[int, Sequence[float]] = 10, scale: float = 1.0
+    ) -> Dict:
+        """Bucket the sample into a JSON-safe histogram.
+
+        ``bins`` is either a bin *count* (equal-width edges spanning
+        [min, max] of the scaled sample) or an explicit increasing edge
+        sequence (in scaled units).  Returns ``{"edges": [...],
+        "counts": [...]}`` with ``len(counts) == len(edges) - 1``;
+        values are assigned half-open ``[lo, hi)`` except the last bin,
+        which is closed so the maximum lands inside.  Degenerate
+        samples (empty, or all values equal with an integer ``bins``)
+        still return well-formed edges.
+        """
+        values = sorted(v * scale for v in self._values)
+        if isinstance(bins, int):
+            if bins < 1:
+                raise ValueError(f"bins must be >= 1, got {bins}")
+            lo = values[0] if values else 0.0
+            hi = values[-1] if values else 1.0
+            if hi <= lo:  # all-equal or empty: give the bins width
+                hi = lo + 1.0
+            width = (hi - lo) / bins
+            edges = [lo + i * width for i in range(bins)] + [hi]
+        else:
+            edges = [float(e) for e in bins]
+            if len(edges) < 2 or edges != sorted(edges) or len(set(edges)) != len(edges):
+                raise ValueError(
+                    f"explicit edges must be >= 2 strictly increasing"
+                    f" values, got {edges}"
+                )
+        counts = [0] * (len(edges) - 1)
+        for v in values:
+            if v < edges[0] or v > edges[-1]:
+                continue  # explicit edges may not cover the sample
+            for i in range(len(counts)):
+                last = i == len(counts) - 1
+                if edges[i] <= v < edges[i + 1] or (last and v == edges[-1]):
+                    counts[i] += 1
+                    break
+        return {"edges": edges, "counts": counts}
 
     def to_dict(self, scale: float = 1.0) -> Dict[str, float]:
         """Summary dict; ``scale`` converts units (e.g. 1e3 for ms)."""

@@ -13,6 +13,7 @@ entries beyond ``capacity``.
 
 from __future__ import annotations
 
+import hashlib
 from collections import OrderedDict
 from typing import Any, Dict, Iterable, Optional, Tuple
 
@@ -67,6 +68,7 @@ class ExecutablePool:
         self.tune_trials = tune_trials
         self._entries: "OrderedDict[Tuple, Executable]" = OrderedDict()
         self._pinned: set = set()
+        self._key_hits: Dict[Tuple, int] = {}
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -107,6 +109,32 @@ class ExecutablePool:
             tuple(sorted((params or {}).items())),
         )
 
+    @staticmethod
+    def key_label(key: Tuple) -> str:
+        """Readable, deterministic label for a pool key.
+
+        ``"<workload>@<target-kind>[params]#<digest>"`` — the digest (8
+        hex chars of the full key's sha1) keeps labels unique when two
+        structurally different workloads share a name, while the prefix
+        keeps stats/trace output human-scannable.
+        """
+        try:
+            name = str(key[0][0])
+        except (IndexError, TypeError):
+            name = "?"
+        try:
+            kind = str(key[1][0])
+        except (IndexError, TypeError):
+            kind = "?"
+        params = ""
+        try:
+            if key[2]:
+                params = "[" + ",".join(f"{k}={v}" for k, v in key[2]) + "]"
+        except (IndexError, TypeError):
+            pass
+        digest = hashlib.sha1(repr(key).encode()).hexdigest()[:8]
+        return f"{name}@{kind}{params}#{digest}"
+
     # -- lookup -------------------------------------------------------------
     def get(
         self,
@@ -124,15 +152,35 @@ class ExecutablePool:
         paths that already hold one (the server computes it at submit)
         skip re-deriving the structural workload signature.
         """
+        from ..obs import current_tracer
+
+        tracer = current_tracer()
         if key is None:
             key = self.key_for(workload, target, params)
         exe = self._entries.get(key)
         if exe is not None:
             self.hits += 1
+            self._key_hits[key] = self._key_hits.get(key, 0) + 1
             self._entries.move_to_end(key)
+            if tracer.enabled:
+                tracer.instant(
+                    "pool.hit", track="pool", cat="pool",
+                    args={"key": self.key_label(key)},
+                )
             return exe, False
         self.misses += 1
-        exe = self._compile(workload, target, params)
+        if tracer.enabled:
+            tracer.instant(
+                "pool.miss", track="pool", cat="pool",
+                args={"key": self.key_label(key)},
+            )
+            with tracer.span(
+                "pool.load", track="pool", cat="pool",
+                args={"key": self.key_label(key)},
+            ):
+                exe = self._compile(workload, target, params)
+        else:
+            exe = self._compile(workload, target, params)
         self._entries[key] = exe
         while len(self._entries) > self.capacity:
             victim = next(
@@ -144,6 +192,11 @@ class ExecutablePool:
                 break
             del self._entries[victim]
             self.evictions += 1
+            if tracer.enabled:
+                tracer.instant(
+                    "pool.evict", track="pool", cat="pool",
+                    args={"key": self.key_label(victim)},
+                )
         return exe, True
 
     def _compile(
@@ -191,12 +244,28 @@ class ExecutablePool:
         is compiled.  If every resident entry is pinned the pool runs
         over ``capacity`` instead of evicting.
         """
+        from ..obs import current_tracer
+
         self._pinned.add(key)
+        tracer = current_tracer()
+        if tracer.enabled:
+            tracer.instant(
+                "pool.pin", track="pool", cat="pool",
+                args={"key": self.key_label(key)},
+            )
 
     def unpin(self, key: Tuple) -> None:
         """Release a pin; the entry rejoins the ordinary LRU order.
         Unpinning an unknown key is a no-op."""
+        from ..obs import current_tracer
+
         self._pinned.discard(key)
+        tracer = current_tracer()
+        if tracer.enabled:
+            tracer.instant(
+                "pool.unpin", track="pool", cat="pool",
+                args={"key": self.key_label(key)},
+            )
 
     def pinned_keys(self) -> set:
         return set(self._pinned)
@@ -210,7 +279,7 @@ class ExecutablePool:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
-    def stats(self) -> Dict[str, float]:
+    def stats(self) -> Dict[str, Any]:
         return {
             "capacity": self.capacity,
             "resident": len(self._entries),
@@ -219,4 +288,11 @@ class ExecutablePool:
             "misses": self.misses,
             "evictions": self.evictions,
             "hit_rate": self.hit_rate,
+            # Per-program hit counts under readable labels, sorted so the
+            # dict is deterministic for JSON dumps and test assertions.
+            "per_key_hits": dict(
+                sorted(
+                    (self.key_label(k), n) for k, n in self._key_hits.items()
+                )
+            ),
         }

@@ -41,6 +41,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs import current_tracer
 from ..target import Executor
 from .metrics import ServerMetrics
 from .pool import ExecutablePool
@@ -151,6 +152,7 @@ class Server:
         soon as its group flushes).
         """
         self._check_open()
+        tracer = current_tracer()
         name = _workload_name(request)
         if self.execute and request.inputs is None:
             # Catch input-less requests at admission — most commonly a
@@ -158,6 +160,12 @@ class Server:
             # nulls inputs on completion).  Failing here keeps the
             # mistake from blast-failing whatever group it would join.
             self.metrics.record_reject(name)
+            if tracer.enabled:
+                tracer.instant(
+                    "reject", track="serve.requests", cat="serve",
+                    args={"workload": name, "reason": "no-inputs"},
+                    ts_s=self._now,
+                )
             return Ticket(
                 request,
                 status="rejected",
@@ -171,6 +179,12 @@ class Server:
             and self.batcher.pending >= self.queue_limit
         ):
             self.metrics.record_reject(name)
+            if tracer.enabled:
+                tracer.instant(
+                    "reject", track="serve.requests", cat="serve",
+                    args={"workload": name, "reason": "queue-full"},
+                    ts_s=self._now,
+                )
             return Ticket(
                 request,
                 status="rejected",
@@ -186,6 +200,12 @@ class Server:
             # An unresolvable target (unknown kind, ...) is unservable:
             # reject at admission rather than failing a whole group.
             self.metrics.record_reject(name)
+            if tracer.enabled:
+                tracer.instant(
+                    "reject", track="serve.requests", cat="serve",
+                    args={"workload": name, "reason": "unservable"},
+                    ts_s=self._now,
+                )
             return Ticket(
                 request,
                 status="rejected",
@@ -196,6 +216,16 @@ class Server:
         entry = PendingRequest(self._seq, ticket, self._tick, self._now)
         self._seq += 1
         self.metrics.record_submit(name)
+        if tracer.enabled:
+            tracer.instant(
+                "admit", track="serve.requests", cat="serve",
+                args={
+                    "rid": request.request_id,
+                    "workload": name,
+                    "key": self.pool.key_label(key),
+                },
+                ts_s=self._now,
+            )
         if self.batcher.add(key, entry):
             self._flush(key)
         return ticket
@@ -277,6 +307,26 @@ class Server:
         finish = start + duration
         self._busy_until = finish
         self.metrics.record_flush(len(group))
+        tracer = current_tracer()
+        if tracer.enabled:
+            # Device occupancy goes on its own track: flush starts jump
+            # to the device clock (always >= the previous finish), so the
+            # lane stays monotonic even while admits trail on the
+            # arrival-clock "serve.requests" track.
+            tracer.timed_span(
+                f"flush {_workload_name(first)}",
+                track="serve.device",
+                cat="serve",
+                dur_s=duration,
+                ts_s=start,
+                args={
+                    "batch": len(group),
+                    "key": self.pool.key_label(key),
+                    "loaded": loaded,
+                    "rids": [entry.ticket.request.request_id for entry in group],
+                },
+            )
+            tracer.metrics.histogram("serve.batch_size").observe(len(group))
         responses: List[Response] = []
         for entry, outs in zip(group, outputs):
             request = entry.ticket.request
@@ -297,11 +347,26 @@ class Server:
             self.metrics.record_completion(
                 response.workload, response.latency_s, response.queue_s
             )
+            if tracer.enabled:
+                tracer.instant(
+                    "respond", track="serve.device", cat="serve",
+                    args={
+                        "rid": response.request_id,
+                        "latency_s": response.latency_s,
+                    },
+                    ts_s=finish,
+                )
             responses.append(response)
         return responses
 
     def _fail_group(self, group: Sequence[Any], exc: Exception) -> None:
         reason = f"{type(exc).__name__}: {exc}"
+        tracer = current_tracer()
+        if tracer.enabled:
+            tracer.instant(
+                "flush.fail", track="serve.device", cat="serve",
+                args={"batch": len(group), "reason": reason},
+            )
         for entry in group:
             ticket = entry.ticket
             ticket.status = "failed"

@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.harness.__main__ import EXPERIMENTS, main
+from repro.harness.__main__ import EXPERIMENTS, JSON_SCHEMA_VERSION, main
 
 
 def test_experiment_list_covers_all_figures():
@@ -62,6 +62,7 @@ class TestJsonDump:
         assert main(["fig3a", "--json", str(path)]) == 0
         assert f"wrote JSON results to {path}" in capsys.readouterr().out
         payload = json.loads(path.read_text())
+        assert payload["schema_version"] == JSON_SCHEMA_VERSION
         rows = payload["experiments"]["fig3a"]
         assert rows and all("kernel_ms" in row for row in rows)
         stats = payload["cache_stats"]
@@ -116,6 +117,46 @@ class TestJsonDump:
         }
         for curve in curves.values():
             assert all(len(point) == 2 for point in curve)
+
+
+class TestTraceFlag:
+    def test_trace_written_and_lint_clean(self, tmp_path, capsys):
+        from repro.obs import trace_lint
+
+        path = tmp_path / "BENCH_fig17_trace.json"
+        assert main([
+            "fig17", "--layers", "3", "--tokens", "2",
+            "--trace", str(path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert f"wrote Chrome trace" in out and str(path) in out
+        payload = json.loads(path.read_text())
+        assert trace_lint(payload) == []
+        assert payload["otherData"]["clock"] == "virtual"
+        # Spans from the decode-side subsystems made it into the export.
+        names = {
+            e["args"]["name"] for e in payload["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert {"pipeline", "pool", "graph", "kv-cache", "decode"} <= names
+
+    def test_trace_jsonl_written(self, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        assert main([
+            "fig17", "--tokens", "2", "--trace-jsonl", str(path)
+        ]) == 0
+        assert "trace events" in capsys.readouterr().out
+        lines = path.read_text().splitlines()
+        assert lines
+        rows = [json.loads(line) for line in lines]
+        assert all({"ph", "name", "track", "ts"} <= set(r) for r in rows)
+
+    def test_no_trace_flag_leaves_no_tracer_active(self, capsys):
+        from repro.obs import NULL_TRACER, current_tracer
+
+        assert main(["fig3b"]) == 0
+        capsys.readouterr()
+        assert current_tracer() is NULL_TRACER
 
 
 @pytest.mark.slow

@@ -1,0 +1,167 @@
+"""Exporters and the lint: Chrome mapping, JSONL, structural checks."""
+
+import json
+
+from repro.obs import (
+    Tracer,
+    chrome_trace,
+    jsonl_events,
+    trace_lint,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+
+def sample_tracer() -> Tracer:
+    t = Tracer()
+    with t.span("step", track="decode", cat="decode"):
+        t.timed_span("layer 0", track="decode", dur_s=0.25, args={"layer": 0})
+        t.timed_span("kv.append L0", track="kv-cache", dur_s=0.001)
+    t.instant("admit", track="serve.requests", args={"rid": 0})
+    t.timed_span("flush", track="serve.device", dur_s=0.1, ts_s=0.5)
+    t.counter("pool.size", 3, track="pool")
+    t.metrics.counter("pool.hits").inc()
+    return t
+
+
+class TestChromeExport:
+    def test_lanes_map_subsystem_to_pid_track_to_tid(self):
+        payload = chrome_trace(sample_tracer())
+        names = {
+            (e["pid"], e["tid"]): e["args"]["name"]
+            for e in payload["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        tracks = sorted(names.values())
+        assert tracks == [
+            "decode", "kv-cache", "pool", "serve.device", "serve.requests",
+        ]
+        # The two serve.* tracks share one pid (subsystem "serve").
+        serve_pids = {
+            pid for (pid, _), name in names.items()
+            if name.startswith("serve.")
+        }
+        assert len(serve_pids) == 1
+
+    def test_process_names_are_subsystems(self):
+        payload = chrome_trace(sample_tracer())
+        processes = sorted(
+            e["args"]["name"]
+            for e in payload["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        )
+        assert processes == ["decode", "kv-cache", "pool", "serve"]
+
+    def test_ts_is_microseconds(self):
+        payload = chrome_trace(sample_tracer())
+        layer = [
+            e for e in payload["traceEvents"]
+            if e.get("name") == "layer 0" and e["ph"] == "E"
+        ][0]
+        assert layer["ts"] == 0.25 * 1e6
+
+    def test_counter_and_instant_phases(self):
+        payload = chrome_trace(sample_tracer())
+        phases = {e["ph"] for e in payload["traceEvents"]}
+        assert {"B", "E", "i", "C", "M"} <= phases
+        inst = [e for e in payload["traceEvents"] if e["ph"] == "i"][0]
+        assert inst["s"] == "t"
+
+    def test_metrics_ride_in_other_data(self):
+        payload = chrome_trace(sample_tracer())
+        assert "pool.hits" in payload["otherData"]["metrics"]
+
+    def test_write_is_byte_deterministic(self, tmp_path):
+        p1, p2 = tmp_path / "a.json", tmp_path / "b.json"
+        write_chrome_trace(sample_tracer(), str(p1))
+        write_chrome_trace(sample_tracer(), str(p2))
+        assert p1.read_bytes() == p2.read_bytes()
+        json.loads(p1.read_text())  # valid JSON
+
+    def test_args_tuples_become_lists(self):
+        t = Tracer()
+        t.instant("i", track="x", args={"pages": (1, 2), "n": 3})
+        payload = chrome_trace(t)
+        ev = [e for e in payload["traceEvents"] if e["ph"] == "i"][0]
+        assert ev["args"] == {"pages": [1, 2], "n": 3}
+
+
+class TestJsonl:
+    def test_one_row_per_event(self, tmp_path):
+        t = sample_tracer()
+        path = tmp_path / "t.jsonl"
+        count = write_jsonl(t, str(path))
+        lines = path.read_text().splitlines()
+        assert count == len(lines) == len(t.events)
+        rows = [json.loads(line) for line in lines]
+        assert rows == jsonl_events(t)
+        assert {"ph", "name", "track", "ts"} <= set(rows[0])
+
+
+class TestLint:
+    def test_clean_trace_passes(self):
+        assert trace_lint(chrome_trace(sample_tracer())) == []
+
+    def test_accepts_path_and_json_string(self, tmp_path):
+        t = sample_tracer()
+        path = tmp_path / "t.json"
+        payload = write_chrome_trace(t, str(path))
+        assert trace_lint(str(path)) == []
+        assert trace_lint(json.dumps(payload)) == []
+
+    def test_rejects_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        problems = trace_lint(str(path))
+        assert problems and "not valid" in problems[0]
+
+    def test_rejects_empty_trace(self):
+        assert trace_lint({"traceEvents": []}) == ["traceEvents is empty"]
+
+    def test_catches_backwards_timestamps(self):
+        events = [
+            {"ph": "i", "name": "a", "pid": 1, "tid": 1, "ts": 5.0},
+            {"ph": "i", "name": "b", "pid": 1, "tid": 1, "ts": 3.0},
+        ]
+        problems = trace_lint({"traceEvents": events})
+        assert any("backwards" in p for p in problems)
+
+    def test_other_lane_may_trail(self):
+        events = [
+            {"ph": "i", "name": "a", "pid": 1, "tid": 1, "ts": 5.0},
+            {"ph": "i", "name": "b", "pid": 1, "tid": 2, "ts": 1.0},
+        ]
+        assert trace_lint({"traceEvents": events}) == []
+
+    def test_catches_unbalanced_spans(self):
+        events = [
+            {"ph": "B", "name": "a", "pid": 1, "tid": 1, "ts": 0.0},
+        ]
+        problems = trace_lint({"traceEvents": events})
+        assert any("unclosed" in p for p in problems)
+
+    def test_catches_stray_end(self):
+        events = [
+            {"ph": "E", "name": "a", "pid": 1, "tid": 1, "ts": 0.0},
+        ]
+        problems = trace_lint({"traceEvents": events})
+        assert any("no open span" in p for p in problems)
+
+    def test_catches_mismatched_end_name(self):
+        events = [
+            {"ph": "B", "name": "a", "pid": 1, "tid": 1, "ts": 0.0},
+            {"ph": "E", "name": "b", "pid": 1, "tid": 1, "ts": 1.0},
+        ]
+        problems = trace_lint({"traceEvents": events})
+        assert any("open span" in p for p in problems)
+
+    def test_cli_entrypoint(self, tmp_path):
+        from repro.obs.lint import main
+
+        path = tmp_path / "t.json"
+        write_chrome_trace(sample_tracer(), str(path))
+        assert main([str(path)]) == 0
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"traceEvents": []}')
+        assert main([str(bad)]) == 1
+        assert main([]) == 2

@@ -173,6 +173,61 @@ class TestPinning:
         assert pool.stats()["pinned"] == 1
 
 
+class TestStats:
+    def test_per_key_hit_counts(self):
+        pool = ExecutablePool(capacity=4)
+        a, b = mtv(32, 64), va(1024)
+        pool.get(a, "upmem", MTV_PARAMS)  # miss
+        pool.get(a, "upmem", MTV_PARAMS)  # hit
+        pool.get(a, "upmem", MTV_PARAMS)  # hit
+        pool.get(b, "upmem", VA_PARAMS)   # miss
+        pool.get(b, "upmem", VA_PARAMS)   # hit
+        stats = pool.stats()
+        assert stats["hits"] == 3 and stats["misses"] == 2
+        per_key = stats["per_key_hits"]
+        label_a = pool.key_label(
+            ExecutablePool.key_for(a, "upmem", MTV_PARAMS)
+        )
+        label_b = pool.key_label(
+            ExecutablePool.key_for(b, "upmem", VA_PARAMS)
+        )
+        assert per_key == {label_a: 2, label_b: 1}
+        # Aggregate hits == sum of per-key hits.
+        assert sum(per_key.values()) == stats["hits"]
+
+    def test_per_key_hits_empty_until_first_hit(self):
+        pool = ExecutablePool(capacity=4)
+        pool.get(va(1024), "upmem", VA_PARAMS)  # miss only
+        assert pool.stats()["per_key_hits"] == {}
+
+    def test_key_label_is_readable_and_unique(self):
+        key_a = ExecutablePool.key_for(mtv(32, 64), "upmem", MTV_PARAMS)
+        key_b = ExecutablePool.key_for(mtv(16, 32), "upmem", MTV_PARAMS)
+        label_a = ExecutablePool.key_label(key_a)
+        label_b = ExecutablePool.key_label(key_b)
+        assert label_a.startswith("mtv@upmem[")
+        assert "cache=16" in label_a
+        assert label_a != label_b  # digest disambiguates same-name keys
+        assert ExecutablePool.key_label(key_a) == label_a  # deterministic
+
+    def test_stats_reports_pinned_count(self):
+        pool = ExecutablePool(capacity=4)
+        assert pool.stats()["pinned"] == 0
+        key = ExecutablePool.key_for(va(1024), "upmem", VA_PARAMS)
+        pool.pin(key)
+        assert pool.stats()["pinned"] == 1
+        pool.unpin(key)
+        assert pool.stats()["pinned"] == 0
+
+    def test_stats_json_safe(self):
+        import json
+
+        pool = ExecutablePool(capacity=4)
+        pool.get(va(1024), "upmem", VA_PARAMS)
+        pool.get(va(1024), "upmem", VA_PARAMS)
+        json.dumps(pool.stats())  # must not raise
+
+
 class TestPrewarm:
     def test_prewarm_counts_new_compiles(self):
         pool = ExecutablePool(capacity=4)
