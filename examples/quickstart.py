@@ -35,7 +35,12 @@ Walks the ATiM flow around the single entry point
 8. trace a decode run with ``repro.obs``: scope a virtual-clock
    ``Tracer`` over the run, inspect the top spans by simulated
    duration, and export a Chrome trace-event JSON that loads in
-   Perfetto — byte-identical at any worker count.
+   Perfetto — byte-identical at any worker count;
+9. serve a multi-tenant trace on a ``repro.cluster.Cluster``: the same
+   seeded bursty traffic replays under whole-request flushing and
+   continuous (iteration-level) batching, then once more with a worker
+   killed mid-decode — the supervisor fences it and the orphaned
+   sessions replay on the survivor, every token digest verified.
 
 Run:  python examples/quickstart.py
 """
@@ -336,6 +341,61 @@ def tracing() -> None:
         )
 
 
+def cluster() -> None:
+    # 9. Cluster serving: one seeded diurnal+bursty multi-tenant trace
+    #    (interactive / batch / background SLO classes, mixed model
+    #    sizes) replayed through two identically configured 2-worker
+    #    clusters that differ only in batching mode, then through a
+    #    third with a seeded mid-decode worker kill.  All decisions run
+    #    on the virtual clock, so every number repeats exactly.
+    from repro.cluster import (
+        Cluster,
+        ClusterConfig,
+        FaultEvent,
+        FaultInjector,
+        default_tenants,
+        generate_cluster_trace,
+        sessions_from_trace,
+    )
+
+    tenants = default_tenants()
+    trace = generate_cluster_trace(
+        12, tenants, seed=7,
+        mean_interarrival_s=0.02, burst_prob=0.3, burst_size=4,
+        decode_tokens=(2, 12),
+    )
+
+    print("--- cluster serving: whole-request vs continuous batching ---")
+    for mode in ("whole", "continuous"):
+        config = ClusterConfig(n_workers=2, mode=mode)
+        result = Cluster(config, tenants=tenants).run(
+            sessions_from_trace(trace, tenants)
+        )
+        s = result.summary()
+        print(
+            f"{mode:11s} {s['completed']} done,"
+            f" {s['throughput_tokens_per_s']:7.1f} tok/s,"
+            f" p99 TTFT {s['p99_ttft_ms']:7.2f} ms,"
+            f" mean batch {s['mean_batch_occupancy']:.2f}"
+        )
+
+    faults = FaultInjector.from_events(
+        [FaultEvent(at_s=0.12, worker=0, kind="kill")], n_workers=2
+    )
+    result = Cluster(
+        ClusterConfig(n_workers=2, mode="continuous"),
+        tenants=tenants, faults=faults,
+    ).run(sessions_from_trace(trace, tenants))
+    order = " -> ".join(
+        f"w{w}:{new}" for _, w, _, new in result.supervisor_transitions
+    )
+    print(
+        f"worker 0 killed mid-decode: {len(result.completed)} done,"
+        f" {result.replays} replay(s)"
+        f" (digests {'OK' if result.replay_ok else 'MISMATCH'}); {order}"
+    )
+
+
 def main() -> None:
     compile_workload()
     print()
@@ -352,6 +412,8 @@ def main() -> None:
     decode()
     print()
     tracing()
+    print()
+    cluster()
 
 
 if __name__ == "__main__":

@@ -1,0 +1,102 @@
+"""Heartbeat supervision: healthy → degraded → dead → recovering.
+
+The supervisor never sees *why* a worker went quiet — it observes one
+boolean per worker per tick (did a heartbeat arrive) and runs a
+missed-count state machine, exactly like a production health manager:
+
+* ``HEALTHY`` — heartbeating; placeable.
+* ``DEGRADED`` — ``degraded_after`` consecutive misses; keeps its
+  residents decoding (it may just be slow) but takes no new
+  placements.
+* ``DEAD`` — ``dead_after`` consecutive misses; the cluster *fences*
+  the worker (discards its state even if it was only stalled — a
+  fenced worker must not resurrect with stale KV) and re-queues its
+  orphaned sessions.
+* ``RECOVERING`` — ``recovery_ticks`` after death the replacement
+  comes up; one clean heartbeat promotes it back to ``HEALTHY``.
+
+Transitions are recorded as ``(tick, worker, old, new)`` so tests can
+assert the exact recovery order and traces can mark the instants.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+__all__ = ["HEALTHY", "DEGRADED", "DEAD", "RECOVERING", "Supervisor"]
+
+HEALTHY = "healthy"
+DEGRADED = "degraded"
+DEAD = "dead"
+RECOVERING = "recovering"
+
+
+class Supervisor:
+    """Missed-heartbeat state machine over a worker fleet."""
+
+    def __init__(
+        self,
+        n_workers: int,
+        degraded_after: int = 2,
+        dead_after: int = 4,
+        recovery_ticks: int = 3,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        if not 1 <= degraded_after <= dead_after:
+            raise ValueError(
+                f"need 1 <= degraded_after <= dead_after, got"
+                f" {degraded_after}/{dead_after}"
+            )
+        self.degraded_after = degraded_after
+        self.dead_after = dead_after
+        self.recovery_ticks = recovery_ticks
+        self.state: Dict[int, str] = {w: HEALTHY for w in range(n_workers)}
+        self._missed: Dict[int, int] = {w: 0 for w in range(n_workers)}
+        self._recover_at: Dict[int, int] = {}
+        #: Full transition log: (tick, worker, old_state, new_state).
+        self.transitions: List[Tuple[int, int, str, str]] = []
+
+    def _move(self, tick: int, worker: int, new: str) -> None:
+        old = self.state[worker]
+        self.state[worker] = new
+        self.transitions.append((tick, worker, old, new))
+
+    def observe(self, worker: int, alive: bool, tick: int) -> str:
+        """Feed one heartbeat observation; returns the (possibly new)
+        state.  Call once per worker per tick, workers in id order —
+        the call order is part of the deterministic transition log."""
+        state = self.state[worker]
+        if state == DEAD:
+            # Replacement provisioning is on a timer, not heartbeats
+            # (the dead worker can't heartbeat its way back).
+            if tick >= self._recover_at[worker]:
+                self._move(tick, worker, RECOVERING)
+            return self.state[worker]
+        if state == RECOVERING:
+            if alive:
+                self._missed[worker] = 0
+                self._move(tick, worker, HEALTHY)
+            return self.state[worker]
+        if alive:
+            self._missed[worker] = 0
+            if state == DEGRADED:
+                self._move(tick, worker, HEALTHY)
+            return self.state[worker]
+        self._missed[worker] += 1
+        if self._missed[worker] >= self.dead_after:
+            self._recover_at[worker] = tick + self.recovery_ticks
+            self._move(tick, worker, DEAD)
+        elif state == HEALTHY and self._missed[worker] >= self.degraded_after:
+            self._move(tick, worker, DEGRADED)
+        return self.state[worker]
+
+    # -- policy queries ------------------------------------------------------
+    def placeable(self, worker: int) -> bool:
+        """May the router place new sessions here?"""
+        return self.state[worker] == HEALTHY
+
+    def active(self, worker: int) -> bool:
+        """May the worker keep decoding its residents?  (A degraded
+        worker may; a dead/recovering one's state is fenced away.)"""
+        return self.state[worker] in (HEALTHY, DEGRADED)

@@ -1,4 +1,4 @@
-"""DecodeEngine: T tokens through an N-layer graph, end to end.
+"""DecodeEngine: N-layer decode for one *or many* sequences.
 
 The engine closes the loop the rest of the stack leaves open: it owns
 the model weights, a :class:`~repro.decode.kv_cache.PagedKVCache`, a
@@ -6,7 +6,7 @@ the model weights, a :class:`~repro.decode.kv_cache.PagedKVCache`, a
 :class:`~repro.serve.pool.ExecutablePool`, and drives
 :class:`~repro.graph.GraphExecutable` decode steps token after token:
 
-* steps whose cache *capacity* is unchanged reuse the previous step's
+* steps whose cache *capacity* is unchanged reuse that capacity epoch's
   compiled executable outright — zero graph builds, zero pool lookups;
 * a step that crossed a page boundary builds the next capacity epoch's
   graph, and the pool serves every capacity-independent program from
@@ -19,6 +19,21 @@ the model weights, a :class:`~repro.decode.kv_cache.PagedKVCache`, a
   (from the paged cache) — never the profile's one-shot staging number,
   which the planner supersedes.
 
+**Multi-sequence decode** (the continuous-batching substrate): the
+paged cache already block-tables several sequences; the engine now
+drives them.  :meth:`DecodeEngine.add_sequence` registers a sequence
+with its own seeded prompt and hidden state, :meth:`step_seq` decodes
+one token of one sequence, and :meth:`step_batch` decodes one token of
+*each* scheduled sequence — one iteration of an iteration-level batch.
+Sequences at different positions coexist because capacity epochs are
+cached per capacity (``max_resident_epochs``), so a mixed-position
+batch reuses every epoch it has seen.  Per-sequence
+:class:`StepReport` costs are the *solo* costs — bit-for-bit what the
+same sequence would report decoded alone — while the batch's device
+occupancy is the :class:`IterationReport`'s amortized model: dispatch
+paid once, kernels shared per capacity group, per-sequence transfers
+serialized (exactly how :class:`repro.serve.Server` models a flush).
+
 Everything the engine reports is derived from deterministic inputs —
 graph structure, simulated latencies, seeded arrays — so a decode run
 is bit-for-bit reproducible at any ``max_workers`` and under any
@@ -27,8 +42,10 @@ is bit-for-bit reproducible at any ``max_workers`` and under any
 
 from __future__ import annotations
 
+import hashlib
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -41,16 +58,30 @@ from ..workloads.gptj import GPTJConfig
 from .kv_cache import CacheExtension, PagedKVCache
 from .residency import StageEvent, WeightResidencyPlanner
 
-__all__ = ["StepReport", "DecodeResult", "DecodeEngine"]
+__all__ = ["StepReport", "IterationReport", "DecodeResult", "DecodeEngine"]
 
 #: Weight init scale: keeps hidden states O(1) through the layer
 #: recurrence x <- x + attn + ffn across many decode steps.
 _WEIGHT_SCALE = np.float32(0.05)
 
 
+def _sequence_entropy(name: str) -> int:
+    """Stable 63-bit integer from a sequence name (process-independent,
+    unlike ``hash()``) — seeds the per-sequence rng stream."""
+    digest = hashlib.sha256(name.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
 @dataclass(frozen=True)
 class StepReport:
-    """One decoded token's full cost breakdown (seconds)."""
+    """One decoded token's full cost breakdown (seconds).
+
+    Costs are *solo* costs — what this sequence's step costs on its
+    own.  Iteration-level sharing across sequences is accounted by
+    :class:`IterationReport`, never smeared into per-sequence reports,
+    so a report is bit-for-bit identical whether the sequence decoded
+    alone or rode in a batch.
+    """
 
     step: int
     #: Sequence length when the step ran (the positions attention saw).
@@ -70,6 +101,9 @@ class StepReport:
     per_layer: Tuple[Dict, ...] = ()
     stage_events: Tuple[StageEvent, ...] = ()
     cache_events: Tuple[CacheExtension, ...] = ()
+    #: Which sequence this step decoded (``"seq0"`` for the legacy
+    #: single-sequence path).
+    sequence: str = "seq0"
 
     @property
     def total_s(self) -> float:
@@ -78,9 +112,20 @@ class StepReport:
             + self.staging_s + self.cache_growth_s
         )
 
+    @property
+    def serial_s(self) -> float:
+        """The step's bus-serialized share: boundary transfers, weight
+        staging and cache growth — paid per sequence even inside an
+        iteration-level batch (every replica shares one host<->PIM
+        bus)."""
+        return (
+            self.h2d_s + self.d2h_s + self.staging_s + self.cache_growth_s
+        )
+
     def to_dict(self) -> Dict:
         return {
             "step": self.step,
+            "sequence": self.sequence,
             "position": self.position,
             "capacity": self.capacity,
             "compiled_programs": self.compiled_programs,
@@ -93,6 +138,78 @@ class StepReport:
             "total_ms": self.total_s * 1e3,
             "reference_ok": self.reference_ok,
         }
+
+
+@dataclass(frozen=True)
+class IterationReport:
+    """One iteration of an iteration-level batch: one token decoded for
+    each scheduled sequence, with the amortized device-occupancy model.
+
+    The per-sequence :class:`StepReport` costs stay solo;
+    :meth:`device_seconds` is the batch's simulated occupancy, split
+    the way :meth:`repro.serve.server.Server._batch_duration` splits a
+    flush: dispatch overhead once per iteration, kernel time per
+    *round* within each capacity group (sequences at one capacity run
+    one program, replicated across idle DPU groups), and bus-serialized
+    per-sequence transfers (H2D/D2H, weight staging, cache growth) paid
+    by every sequence.
+    """
+
+    reports: Tuple[StepReport, ...]
+
+    @property
+    def sequences(self) -> Tuple[str, ...]:
+        return tuple(r.sequence for r in self.reports)
+
+    @property
+    def sum_total_s(self) -> float:
+        """What the same steps cost decoded back-to-back (no sharing)."""
+        return sum(r.total_s for r in self.reports)
+
+    def device_seconds(
+        self,
+        dispatch_overhead_s: float = 0.0,
+        replica_groups: int = 1,
+    ) -> float:
+        if replica_groups < 1:
+            raise ValueError(
+                f"replica_groups must be >= 1, got {replica_groups}"
+            )
+        if not self.reports:
+            return 0.0
+        by_capacity: "OrderedDict[int, List[StepReport]]" = OrderedDict()
+        for report in self.reports:
+            by_capacity.setdefault(report.capacity, []).append(report)
+        total = dispatch_overhead_s
+        for group in by_capacity.values():
+            rounds = -(-len(group) // replica_groups)  # ceil division
+            # Same capacity => same epoch graph => identical kernel
+            # cost; one round runs `replica_groups` sequences at once.
+            total += rounds * group[0].compute_s
+        total += sum(r.serial_s for r in self.reports)
+        return total
+
+
+@dataclass
+class _SequenceState:
+    """Engine-side state of one decoded sequence."""
+
+    name: str
+    x: np.ndarray  # current hidden state (next step's input token)
+    rng: np.random.Generator  # per-sequence stream (prompt rows)
+    steps: int = 0  # tokens decoded so far
+
+
+@dataclass
+class _Epoch:
+    """One capacity epoch's compiled working set."""
+
+    capacity: int
+    exe: GraphExecutable
+    graph: Any
+    keys: set
+    layer_costs: List[Dict]
+    step_costs: Dict[str, float]
 
 
 @dataclass
@@ -212,10 +329,15 @@ class DecodeEngine:
         seed: int = 0,
         upmem_config: Optional[UpmemConfig] = None,
         check_references: bool = True,
+        max_resident_epochs: int = 1,
     ) -> None:
         self.config = config or GPTJ_SIM
         if layers < 1:
             raise ValueError(f"layers must be >= 1, got {layers}")
+        if max_resident_epochs < 1:
+            raise ValueError(
+                f"max_resident_epochs must be >= 1, got {max_resident_epochs}"
+            )
         self.layers = layers
         self.policy = policy
         self.target = target
@@ -225,6 +347,12 @@ class DecodeEngine:
         self.pin_small_grids = pin_small_grids
         self.seed = seed
         self.check_references = check_references
+        #: How many capacity epochs stay compiled side by side.  1 is
+        #: the single-sequence default (an epoch retires when the cache
+        #: outgrows it); a multi-sequence engine wants several, because
+        #: sequences at different positions revisit different
+        #: capacities every iteration.
+        self.max_resident_epochs = max_resident_epochs
         self.upmem_config = upmem_config or UpmemConfig()
         d = self.config.d_model
         self.cache = PagedKVCache(
@@ -266,18 +394,128 @@ class DecodeEngine:
         # __len__ == 0 and is falsy.
         self.pool = pool if pool is not None else ExecutablePool(capacity=64)
         self._rng = rng
-        self._x = rng.standard_normal((d,), dtype=np.float32)
-        self._epoch_capacity: Optional[int] = None
-        self._epoch_exe: Optional[GraphExecutable] = None
-        self._epoch_graph = None
-        self._epoch_keys: set = set()
-        self._epoch_layer_costs: List[Dict] = []
-        self._epoch_step_costs: Dict[str, float] = {}
+        self._seqs: Dict[str, _SequenceState] = {
+            # seq0 keeps the legacy draw order: weights, then the
+            # initial hidden state, from the engine's own stream.
+            "seq0": _SequenceState(
+                "seq0", rng.standard_normal((d,), dtype=np.float32), rng
+            )
+        }
+        self._epochs: "OrderedDict[int, _Epoch]" = OrderedDict()
         self._global_step = 0
 
-    # -- prefill -------------------------------------------------------------
+    # -- legacy single-sequence views ----------------------------------------
+    @property
+    def _x(self) -> np.ndarray:
+        return self._seqs["seq0"].x
+
+    @_x.setter
+    def _x(self, value: np.ndarray) -> None:
+        self._seqs["seq0"].x = value
+
+    @property
+    def _current_epoch(self) -> Optional[_Epoch]:
+        if not self._epochs:
+            return None
+        return next(reversed(self._epochs.values()))
+
+    @property
+    def _epoch_capacity(self) -> Optional[int]:
+        epoch = self._current_epoch
+        return None if epoch is None else epoch.capacity
+
+    @property
+    def _epoch_exe(self) -> Optional[GraphExecutable]:
+        epoch = self._current_epoch
+        return None if epoch is None else epoch.exe
+
+    @property
+    def _epoch_graph(self):
+        epoch = self._current_epoch
+        return None if epoch is None else epoch.graph
+
+    @property
+    def _epoch_keys(self) -> set:
+        keys: set = set()
+        for epoch in self._epochs.values():
+            keys |= epoch.keys
+        return keys
+
+    # -- sequence lifecycle ---------------------------------------------------
+    def sequences(self) -> Tuple[str, ...]:
+        """Registered sequence names, insertion-ordered."""
+        return tuple(self._seqs)
+
+    def add_sequence(
+        self,
+        name: str,
+        prompt_tokens: int = 0,
+        seed: Optional[int] = None,
+    ) -> List[CacheExtension]:
+        """Register a sequence with its own deterministic stream.
+
+        The sequence's initial hidden state and (optional) prompt K/V
+        rows come from ``default_rng((engine seed, sequence seed))``
+        where the sequence seed defaults to a stable hash of ``name`` —
+        so re-adding the same sequence on *any* engine built with the
+        same model seed replays identically (the recovery path's replay
+        contract).  Returns the prompt's cache-extension events.
+        """
+        if name in self._seqs:
+            raise ValueError(f"sequence {name!r} already registered")
+        if prompt_tokens < 0:
+            raise ValueError(
+                f"prompt_tokens must be >= 0, got {prompt_tokens}"
+            )
+        self.cache.add_sequence(name)
+        entropy = _sequence_entropy(name) if seed is None else int(seed)
+        rng = np.random.default_rng((self.seed, entropy))
+        d = self.config.d_model
+        state = _SequenceState(
+            name, rng.standard_normal((d,), dtype=np.float32), rng
+        )
+        self._seqs[name] = state
+        events: List[CacheExtension] = []
+        if prompt_tokens:
+            events = self._prefill_sequence(name, prompt_tokens)
+        return events
+
+    def remove_sequence(self, name: str) -> int:
+        """Drop a sequence and release its cache pages (completion,
+        preemption, or a failed worker losing its residents).  Returns
+        the page count freed."""
+        if name not in self._seqs:
+            raise ValueError(f"unknown sequence {name!r}")
+        freed = self.cache.free_sequence(name)
+        del self._seqs[name]
+        return freed
+
+    def _prefill_sequence(
+        self, name: str, prompt_tokens: int
+    ) -> List[CacheExtension]:
+        d = self.config.d_model
+        state = self._seqs[name]
+        events: List[CacheExtension] = []
+        with current_tracer().span(
+            "prefill",
+            track="decode",
+            cat="decode",
+            args={"sequence": name, "tokens": prompt_tokens},
+        ):
+            for _ in range(prompt_tokens):
+                rows = [
+                    (
+                        state.rng.standard_normal((d,), dtype=np.float32),
+                        state.rng.standard_normal((d,), dtype=np.float32),
+                    )
+                    for _ in range(self.layers)
+                ]
+                events.extend(self.cache.append(name, rows))
+        return events
+
+    # -- prefill (legacy seq0 surface) ---------------------------------------
     def prefill(self, prompt_tokens: int) -> List[CacheExtension]:
-        """Seed the cache with ``prompt_tokens`` deterministic K/V rows
+        """Seed ``seq0`` with ``prompt_tokens`` deterministic K/V rows
         per layer (standing in for a prompt pass — the decode loop
         needs at least one cached position to attend over).  Prefill
         rows move over the bus like any cache extension; the events are
@@ -286,35 +524,37 @@ class DecodeEngine:
             raise ValueError(
                 f"prompt_tokens must be >= 1, got {prompt_tokens}"
             )
-        d = self.config.d_model
-        events: List[CacheExtension] = []
-        with current_tracer().span(
-            "prefill",
-            track="decode",
-            cat="decode",
-            args={"tokens": prompt_tokens},
-        ):
-            for _ in range(prompt_tokens):
-                rows = [
-                    (
-                        self._rng.standard_normal((d,), dtype=np.float32),
-                        self._rng.standard_normal((d,), dtype=np.float32),
-                    )
-                    for _ in range(self.layers)
-                ]
-                events.extend(self.cache.append("seq0", rows))
-        return events
+        return self._prefill_sequence("seq0", prompt_tokens)
+
+    # -- page accounting ------------------------------------------------------
+    def prompt_pages(self, prompt_tokens: int) -> int:
+        """Pages admitting a ``prompt_tokens``-token sequence allocates
+        (one block table per layer, whole pages)."""
+        per_layer = -(-prompt_tokens // self.cache.page_tokens)
+        return self.layers * per_layer
+
+    def step_pages(self, name: str) -> int:
+        """Pages the *next* :meth:`step_seq` of ``name`` will allocate
+        (its append crosses a page boundary) — the preflight check a
+        scheduler runs before including the sequence in an iteration."""
+        length = self.cache.length(name)
+        if length == 0 or length % self.cache.page_tokens:
+            return 0
+        return self.layers
 
     # -- epoch management ----------------------------------------------------
-    def _ensure_epoch(self, capacity: int) -> Tuple[GraphExecutable, int, bool]:
-        """Executable for the current capacity epoch.
+    def _ensure_epoch(self, capacity: int) -> Tuple[_Epoch, int, bool]:
+        """Executable for one capacity epoch.
 
-        Same capacity → the cached executable, zero work.  New capacity
-        → build the epoch graph, compile through the *shared* pool
-        (capacity-independent programs pool-hit), pin the new working
-        set and unpin programs the retired epoch no longer needs."""
-        if capacity == self._epoch_capacity and self._epoch_exe is not None:
-            return self._epoch_exe, 0, False
+        A resident epoch → zero work.  A new capacity → build the epoch
+        graph, compile through the *shared* pool (capacity-independent
+        programs pool-hit), pin the new working set, and retire the
+        oldest epoch beyond ``max_resident_epochs`` — unpinning only
+        keys no surviving epoch still uses."""
+        epoch = self._epochs.get(capacity)
+        if epoch is not None:
+            self._epochs.move_to_end(capacity)
+            return epoch, 0, False
         tracer = current_tracer()
         # An epoch rebuild is host-side compile work: zero virtual
         # duration, but the span brackets every pool pin/load event the
@@ -354,16 +594,17 @@ class DecodeEngine:
                 pool=self.pool,
                 max_workers=self.max_workers,
             )
-            for stale in sorted(self._epoch_keys - keys, key=repr):
-                self.pool.unpin(stale)
-            self._epoch_keys = keys
-            self._epoch_capacity = capacity
-            self._epoch_exe = exe
-            self._epoch_graph = graph
-            self._epoch_layer_costs, self._epoch_step_costs = (
-                self._profile_costs(exe)
-            )
-        return exe, exe.loaded_program_count, True
+            layer_costs, step_costs = self._profile_costs(exe)
+            epoch = _Epoch(capacity, exe, graph, keys, layer_costs, step_costs)
+            self._epochs[capacity] = epoch
+            while len(self._epochs) > self.max_resident_epochs:
+                _, retired = self._epochs.popitem(last=False)
+                survivors: set = set()
+                for live in self._epochs.values():
+                    survivors |= live.keys
+                for stale in sorted(retired.keys - survivors, key=repr):
+                    self.pool.unpin(stale)
+        return epoch, exe.loaded_program_count, True
 
     def _profile_costs(
         self, exe: GraphExecutable
@@ -395,32 +636,59 @@ class DecodeEngine:
 
     # -- the token loop ------------------------------------------------------
     def step(self) -> StepReport:
-        """Decode one token: (re)use the epoch executable, run the
-        graph, charge residency + cache traffic, append the new K/V."""
+        """Decode one token of ``seq0`` (the legacy single-sequence
+        surface): (re)use the epoch executable, run the graph, charge
+        residency + cache traffic, append the new K/V."""
         if self.cache.length("seq0") == 0:
             raise RuntimeError("call prefill() before decoding")
-        capacity = self.cache.capacity("seq0")
-        position = self.cache.length("seq0")
+        return self.step_seq("seq0")
+
+    def step_seq(self, name: str) -> StepReport:
+        """Decode one token of one registered sequence."""
+        if name not in self._seqs:
+            raise ValueError(f"unknown sequence {name!r}")
+        if self.cache.length(name) == 0:
+            raise RuntimeError(
+                f"sequence {name!r} has no cached positions; prefill or"
+                f" add_sequence(prompt_tokens=...) first"
+            )
+        capacity = self.cache.capacity(name)
+        position = self.cache.length(name)
         tracer = current_tracer()
         step_span = tracer.span(
             f"step {self._global_step}",
             track="decode",
             cat="decode",
-            args={"position": position, "capacity": capacity},
+            args={
+                "sequence": name, "position": position, "capacity": capacity,
+            },
         )
         step_span.__enter__()
         try:
-            return self._step_body(
-                capacity, position, tracer, step_span
-            )
+            return self._step_body(name, capacity, position, tracer)
         finally:
             step_span.__exit__(None, None, None)
 
+    def step_batch(self, names: Sequence[str]) -> IterationReport:
+        """Decode one token of each named sequence — one iteration of
+        an iteration-level batch.  Sequences run in the given order
+        (the scheduler's priority order), each at its own position and
+        capacity; per-sequence reports are solo costs, the iteration's
+        shared device occupancy comes from
+        :meth:`IterationReport.device_seconds`."""
+        if not names:
+            return IterationReport(reports=())
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate sequences in batch: {list(names)}")
+        return IterationReport(
+            reports=tuple(self.step_seq(name) for name in names)
+        )
+
     def _step_body(
-        self, capacity: int, position: int, tracer: Any, step_span: Any
+        self, name: str, capacity: int, position: int, tracer: Any
     ) -> StepReport:
-        exe, compiled, replanned = self._ensure_epoch(capacity)
-        graph = self._epoch_graph
+        epoch, compiled, replanned = self._ensure_epoch(capacity)
+        state = self._seqs[name]
 
         stage_events: List[StageEvent] = []
         for layer in range(self.layers):
@@ -429,11 +697,11 @@ class DecodeEngine:
             )
 
         inputs: Dict[str, np.ndarray] = dict(self.weights)
-        inputs["x"] = self._x
-        inputs["attn_mask"] = self.cache.attention_mask("seq0")
+        inputs["x"] = state.x
+        inputs["attn_mask"] = self.cache.attention_mask(name)
         d, hd = self.config.d_model, self.config.head_dim
         for layer in range(self.layers):
-            k, v = self.cache.dense_kv("seq0", layer)
+            k, v = self.cache.dense_kv(name, layer)
             for h in range(self.config.n_heads):
                 sl = slice(h * hd, (h + 1) * hd)
                 inputs[f"k_cache_L{layer}_h{h}"] = np.ascontiguousarray(
@@ -442,19 +710,20 @@ class DecodeEngine:
                 inputs[f"v_cache_t_L{layer}_h{h}"] = np.ascontiguousarray(
                     v[:, sl].T
                 )
-        outs = exe.run_tensors(inputs)
+        outs = epoch.exe.run_tensors(inputs)
 
         reference_ok: Optional[bool] = None
         if self.check_references:
-            ref = graph.reference_outputs(inputs)
+            ref = epoch.graph.reference_outputs(inputs)
             reference_ok = all(
-                np.allclose(outs[name], ref[name], rtol=2e-3, atol=1e-5)
-                for name in ref
+                np.allclose(outs[name_], ref[name_], rtol=2e-3, atol=1e-5)
+                for name_ in ref
             )
 
-        self._x = outs[f"h{self.layers}"]
+        state.x = outs[f"h{self.layers}"]
+        state.steps += 1
         cache_events = self.cache.append(
-            "seq0",
+            name,
             [
                 (outs[f"k_new_L{layer}"], outs[f"v_new_L{layer}"])
                 for layer in range(self.layers)
@@ -463,7 +732,7 @@ class DecodeEngine:
 
         per_layer = []
         for layer in range(self.layers):
-            entry = dict(self._epoch_layer_costs[layer])
+            entry = dict(epoch.layer_costs[layer])
             entry["staging_s"] = sum(
                 e.seconds for e in stage_events if e.layer == layer
             )
@@ -494,7 +763,7 @@ class DecodeEngine:
                         "cache_growth_ms": entry["cache_growth_s"] * 1e3,
                     },
                 )
-            exe.trace(tracer, name=f"step {self._global_step} graph")
+            epoch.exe.trace(tracer, name=f"step {self._global_step} graph")
 
         report = StepReport(
             step=self._global_step,
@@ -502,23 +771,31 @@ class DecodeEngine:
             capacity=capacity,
             compiled_programs=compiled,
             replanned=replanned,
-            compute_s=self._epoch_step_costs["compute_s"],
-            h2d_s=self._epoch_step_costs["h2d_s"],
-            d2h_s=self._epoch_step_costs["d2h_s"],
+            compute_s=epoch.step_costs["compute_s"],
+            h2d_s=epoch.step_costs["h2d_s"],
+            d2h_s=epoch.step_costs["d2h_s"],
             staging_s=sum(e.seconds for e in stage_events),
             cache_growth_s=sum(e.seconds for e in cache_events),
             reference_ok=reference_ok,
             per_layer=tuple(per_layer),
             stage_events=tuple(stage_events),
             cache_events=tuple(cache_events),
+            sequence=name,
         )
         self._global_step += 1
         return report
 
+    def hidden_state(self, name: str = "seq0") -> np.ndarray:
+        """The sequence's current hidden state (the last decoded
+        token's final-layer output — the engine's "response" payload)."""
+        if name not in self._seqs:
+            raise ValueError(f"unknown sequence {name!r}")
+        return self._seqs[name].x
+
     def decode(
         self, tokens: int, prompt_tokens: int = 4
     ) -> DecodeResult:
-        """Prefill then decode ``tokens`` tokens end to end."""
+        """Prefill then decode ``tokens`` tokens of ``seq0`` end to end."""
         if tokens < 1:
             raise ValueError(f"tokens must be >= 1, got {tokens}")
         if self.cache.length("seq0") == 0:

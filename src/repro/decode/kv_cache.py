@@ -144,6 +144,12 @@ class PagedKVCache:
         """Bytes of one physical page (K plane + V plane)."""
         return 2 * self.page_tokens * self.row_nbytes
 
+    @property
+    def free_pages(self) -> int:
+        """Unallocated pages in the pool — the number a scheduler
+        preflights against before admitting or stepping a sequence."""
+        return len(self._free)
+
     # -- sequence lifecycle --------------------------------------------------
     def add_sequence(self, sequence: str) -> None:
         if sequence in self._tables:

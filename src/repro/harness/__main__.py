@@ -125,6 +125,27 @@ def run_experiment(name: str, args: argparse.Namespace):
             n_requests=args.requests, seed=args.seed
         )
         _print_rows(data["rows"], "Fig 16 (serving: dynamic batching)")
+    elif name == "fig18":
+        data = experiments.fig18_cluster(
+            n_requests=args.requests, n_workers=args.workers,
+            seed=args.seed, max_workers=args.max_workers,
+        )
+        _print_rows(
+            data["rows"],
+            "Fig 18 (cluster: whole-request vs continuous batching)",
+        )
+        fault = data.get("fault_scenario")
+        if fault:
+            order = " -> ".join(
+                f"w{t['worker']}:{t['to']}" for t in fault["transitions"]
+            )
+            print(
+                f"fault scenario: {len(fault['faults'])} fault(s);"
+                f" {fault['recovered_sessions']} session(s) replayed"
+                f" ({fault['replays']} replays,"
+                f" digests {'OK' if fault['replay_ok'] else 'MISMATCH'});"
+                f" {fault['completed']} completed; {order}"
+            )
     elif name == "sim_speed":
         data = experiments.sim_speed(seed=args.seed)
         _print_rows(data, "Simulator speed (scalar vs vector)")
@@ -182,7 +203,7 @@ def run_experiment(name: str, args: argparse.Namespace):
 EXPERIMENTS = (
     "fig3a", "fig3b", "fig3c", "fig4", "fig9", "tab3", "fig10",
     "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
-    "sim_speed",
+    "fig18", "sim_speed",
 )
 
 
@@ -203,8 +224,10 @@ def _jsonable(obj):
 
 #: Version of the ``--json`` dump layout.  Bump when the payload's
 #: structure changes so downstream tooling can detect format drift.
-#: History: 1 = implicit/unversioned (PRs 1-7); 2 = adds this field.
-JSON_SCHEMA_VERSION = 2
+#: History: 1 = implicit/unversioned (PRs 1-7); 2 = adds this field;
+#: 3 = fig18 cluster payloads, ``settings.workers``, and versioned
+#: ServerMetrics dicts (``schema_version`` inside ``metrics``).
+JSON_SCHEMA_VERSION = 3
 
 
 def write_json(path: str, results, args: argparse.Namespace) -> None:
@@ -238,6 +261,7 @@ def write_json(path: str, results, args: argparse.Namespace) -> None:
             "requests": args.requests,
             "tokens": args.tokens,
             "layers": args.layers,
+            "workers": args.workers,
         },
     }
     with open(path, "w") as fh:
@@ -258,7 +282,13 @@ def main(argv=None) -> int:
     parser.add_argument("--sizes", nargs="*", default=None)
     parser.add_argument(
         "--requests", type=int, default=32, metavar="N",
-        help="traffic-trace length for the serving experiment (fig16)",
+        help="traffic-trace length for the serving experiments"
+             " (fig16, fig18)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="simulated cluster workers for fig18 (not host threads;"
+             " see --max-workers)",
     )
     parser.add_argument(
         "--tokens", type=int, default=16, metavar="T",

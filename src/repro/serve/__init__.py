@@ -26,7 +26,7 @@ targets' simulated performance models, and ``run_batch`` outputs are
 bit-for-bit identical to individual ``run()`` calls at any thread count.
 """
 
-from .metrics import LatencyStats, ServerMetrics
+from .metrics import METRICS_SCHEMA_VERSION, LatencyStats, ServerMetrics
 from .pool import ExecutablePool
 from .request import Request, Response, Ticket
 from .scheduler import DynamicBatcher, PendingRequest
@@ -51,6 +51,7 @@ __all__ = [
     "ExecutablePool",
     "LatencyStats",
     "ServerMetrics",
+    "METRICS_SCHEMA_VERSION",
     "MixEntry",
     "TraceEvent",
     "generate_trace",

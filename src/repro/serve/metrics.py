@@ -12,7 +12,20 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Optional, Sequence, Union
 
-__all__ = ["LatencyStats", "ServerMetrics"]
+__all__ = ["METRICS_SCHEMA_VERSION", "LatencyStats", "ServerMetrics"]
+
+#: Version of the :meth:`ServerMetrics.to_dict` payload shape.
+#:
+#: History:
+#:   1 — PR 4–8 (implicit; no version field): request-level counters,
+#:       latency/queue-wait percentiles, per-workload buckets,
+#:       batch histogram, optional pool stats.
+#:   2 — PR 9: adds ``schema_version`` itself, token-level serving
+#:       series ``ttft_ms``/``tpot_ms`` (time-to-first-token and
+#:       time-per-output-token, populated by iteration-granularity
+#:       servers), and ``per_tenant`` counters (submitted / rejected /
+#:       rejected_slo / completed / failed / preempted / tokens).
+METRICS_SCHEMA_VERSION = 2
 
 
 class LatencyStats:
@@ -138,11 +151,17 @@ class ServerMetrics:
         self.flushes = 0
         self.latency = LatencyStats()
         self.queue_wait = LatencyStats()
+        #: Time to first token per request (iteration-level serving).
+        self.ttft = LatencyStats()
+        #: Mean time per output token per request (decode cadence).
+        self.tpot = LatencyStats()
         #: Flush-size histogram: batch size -> number of flushes.
         self.batch_sizes: Dict[int, int] = {}
         #: Workload name -> {submitted, rejected, completed} counters.
         self.per_workload: Dict[str, Dict[str, int]] = {}
         self._per_workload_latency: Dict[str, LatencyStats] = {}
+        #: Tenant -> admission/completion counters (multi-tenant serving).
+        self.per_tenant: Dict[str, Dict[str, int]] = {}
 
     # -- recording ----------------------------------------------------------
     def _workload_bucket(self, name: str) -> Dict[str, int]:
@@ -182,6 +201,46 @@ class ServerMetrics:
             latency_s
         )
 
+    # -- token-level + tenant recording (iteration-granularity serving) ----
+    def _tenant_bucket(self, tenant: str) -> Dict[str, int]:
+        return self.per_tenant.setdefault(
+            tenant,
+            {
+                "submitted": 0, "rejected": 0, "rejected_slo": 0,
+                "completed": 0, "failed": 0, "preempted": 0, "tokens": 0,
+            },
+        )
+
+    def record_tenant_submit(self, tenant: str) -> None:
+        self._tenant_bucket(tenant)["submitted"] += 1
+
+    def record_tenant_reject(self, tenant: str, slo: bool = False) -> None:
+        bucket = self._tenant_bucket(tenant)
+        bucket["submitted"] += 1
+        bucket["rejected"] += 1
+        if slo:
+            # SLO-unsatisfiable at submit time — refused up front
+            # instead of being left to time out in-queue.
+            bucket["rejected_slo"] += 1
+
+    def record_tenant_failure(self, tenant: str) -> None:
+        self._tenant_bucket(tenant)["failed"] += 1
+
+    def record_tenant_preemption(self, tenant: str) -> None:
+        self._tenant_bucket(tenant)["preempted"] += 1
+
+    def record_token_latencies(
+        self, tenant: str, ttft_s: float, tpot_s: float, tokens: int
+    ) -> None:
+        """A finished request's token-level serving latencies: time to
+        first token, mean time per subsequent output token, and the
+        token count (for tenant throughput accounting)."""
+        self.ttft.add(ttft_s)
+        self.tpot.add(tpot_s)
+        bucket = self._tenant_bucket(tenant)
+        bucket["completed"] += 1
+        bucket["tokens"] += tokens
+
     # -- reporting ----------------------------------------------------------
     @property
     def mean_batch(self) -> float:
@@ -201,6 +260,7 @@ class ServerMetrics:
     ) -> Dict:
         """JSON-safe snapshot for ``--json`` dumps and reports."""
         payload = {
+            "schema_version": METRICS_SCHEMA_VERSION,
             "submitted": self.submitted,
             "accepted": self.accepted,
             "rejected": self.rejected,
@@ -215,6 +275,12 @@ class ServerMetrics:
             "throughput_rps": self.throughput(elapsed_s),
             "latency_ms": self.latency.to_dict(scale=1e3),
             "queue_wait_ms": self.queue_wait.to_dict(scale=1e3),
+            "ttft_ms": self.ttft.to_dict(scale=1e3),
+            "tpot_ms": self.tpot.to_dict(scale=1e3),
+            "per_tenant": {
+                name: dict(counts)
+                for name, counts in sorted(self.per_tenant.items())
+            },
             "per_workload": {
                 name: dict(
                     counts,

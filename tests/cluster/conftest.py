@@ -1,0 +1,39 @@
+"""Shared fixtures for the cluster suite: small, fast configurations.
+
+Everything here runs the functional simulator at CLUSTER_SIM
+dimensions (tiny model, real execution) so token digests are genuine —
+the determinism and recovery tests depend on actually decoding."""
+
+from repro.cluster import (
+    Cluster,
+    ClusterConfig,
+    TenantSpec,
+    default_tenants,
+    generate_cluster_trace,
+    sessions_from_trace,
+)
+
+__all__ = [
+    "small_config", "small_trace", "run_small",
+]
+
+
+def small_config(**kwargs):
+    kwargs.setdefault("n_workers", 2)
+    kwargs.setdefault("max_batch", 4)
+    return ClusterConfig(**kwargs)
+
+
+def small_trace(n=8, seed=3, **kwargs):
+    tenants = default_tenants()
+    kwargs.setdefault("decode_tokens", (2, 6))
+    trace = generate_cluster_trace(n, tenants, seed=seed, **kwargs)
+    return tenants, sessions_from_trace(trace, tenants)
+
+
+def run_small(n=8, seed=3, faults=None, trace_kwargs=None, **cfg_kwargs):
+    tenants, sessions = small_trace(n, seed, **(trace_kwargs or {}))
+    cluster = Cluster(
+        small_config(**cfg_kwargs), tenants=tenants, faults=faults
+    )
+    return cluster.run(sessions), cluster

@@ -1,0 +1,82 @@
+"""Heartbeat state machine: healthy → degraded → dead → recovering."""
+
+import pytest
+
+from repro.cluster import DEAD, DEGRADED, HEALTHY, RECOVERING, Supervisor
+
+
+def sup(**kwargs):
+    kwargs.setdefault("degraded_after", 2)
+    kwargs.setdefault("dead_after", 4)
+    kwargs.setdefault("recovery_ticks", 3)
+    return Supervisor(2, **kwargs)
+
+
+class TestTransitions:
+    def test_stays_healthy_on_heartbeats(self):
+        s = sup()
+        for tick in range(10):
+            assert s.observe(0, True, tick) == HEALTHY
+        assert s.transitions == []
+
+    def test_degraded_then_dead_on_misses(self):
+        s = sup()
+        states = [s.observe(0, False, t) for t in range(4)]
+        assert states == [HEALTHY, DEGRADED, DEGRADED, DEAD]
+
+    def test_degraded_recovers_directly(self):
+        s = sup()
+        s.observe(0, False, 0)
+        s.observe(0, False, 1)
+        assert s.state[0] == DEGRADED
+        assert s.observe(0, True, 2) == HEALTHY
+
+    def test_dead_worker_recovers_on_timer_then_heartbeat(self):
+        s = sup()
+        for t in range(4):
+            s.observe(0, False, t)
+        assert s.state[0] == DEAD
+        # Heartbeats (even if the node were alive) don't resurrect a
+        # fenced worker before the replacement timer.
+        assert s.observe(0, True, 4) == DEAD
+        assert s.observe(0, True, 5) == DEAD
+        assert s.observe(0, True, 6) == RECOVERING  # tick 3 + 3
+        assert s.observe(0, True, 7) == HEALTHY
+
+    def test_transition_log_records_order(self):
+        s = sup()
+        for t in range(4):
+            s.observe(0, False, t)
+        assert [(w, old, new) for _, w, old, new in s.transitions] == [
+            (0, HEALTHY, DEGRADED), (0, DEGRADED, DEAD),
+        ]
+
+    def test_workers_independent(self):
+        s = sup()
+        s.observe(0, False, 0)
+        s.observe(1, True, 0)
+        s.observe(0, False, 1)
+        assert s.state[0] == DEGRADED
+        assert s.state[1] == HEALTHY
+
+
+class TestPolicy:
+    def test_placeable_only_healthy(self):
+        s = sup()
+        assert s.placeable(0)
+        s.observe(0, False, 0)
+        s.observe(0, False, 1)
+        assert not s.placeable(0)   # degraded: no new placements
+        assert s.active(0)          # ...but keeps decoding
+
+    def test_dead_not_active(self):
+        s = sup()
+        for t in range(4):
+            s.observe(0, False, t)
+        assert not s.active(0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="n_workers"):
+            Supervisor(0)
+        with pytest.raises(ValueError, match="degraded_after"):
+            Supervisor(1, degraded_after=5, dead_after=2)

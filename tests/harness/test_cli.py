@@ -11,7 +11,7 @@ def test_experiment_list_covers_all_figures():
     assert set(EXPERIMENTS) == {
         "fig3a", "fig3b", "fig3c", "fig4", "fig9", "tab3", "fig10",
         "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
-        "sim_speed",
+        "fig18", "sim_speed",
     }
 
 
@@ -29,6 +29,50 @@ def test_fig17_runs_and_dumps_json(tmp_path, capsys):
         assert rows and all("total_ms" in row for row in rows)
     assert data["memory"]["arena_bytes"] < data["memory"]["naive_bytes"]
     assert payload["settings"]["tokens"] == 4
+
+
+@pytest.mark.slow
+def test_fig18_runs_and_dumps_json(tmp_path, capsys):
+    path = tmp_path / "BENCH_fig18_cluster.json"
+    assert main([
+        "fig18", "--requests", "12", "--json", str(path),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "Fig 18" in out and "fault scenario" in out
+    payload = json.loads(path.read_text())
+    data = payload["experiments"]["fig18"]
+    assert {row["mode"] for row in data["rows"]} == {"whole", "continuous"}
+    fault = data["fault_scenario"]
+    assert fault["replay_ok"] is True
+    assert fault["completed"] == data["summaries"]["continuous"]["completed"]
+    # ServerMetrics payloads carry their own schema version now.
+    assert data["summaries"]["continuous"]["metrics"]["schema_version"] == 2
+    assert payload["settings"]["workers"] == 2
+
+
+@pytest.mark.slow
+def test_fig18_trace_lint_clean(tmp_path, capsys):
+    from repro.obs import trace_lint
+
+    path = tmp_path / "BENCH_fig18_trace.json"
+    assert main([
+        "fig18", "--requests", "10", "--trace", str(path),
+    ]) == 0
+    payload = json.loads(path.read_text())
+    assert trace_lint(payload) == []
+    processes = {
+        e["args"]["name"] for e in payload["traceEvents"]
+        if e["ph"] == "M" and e["name"] == "process_name"
+    }
+    threads = {
+        e["args"]["name"] for e in payload["traceEvents"]
+        if e["ph"] == "M" and e["name"] == "thread_name"
+    }
+    # Per-worker lanes and the control lane made it into the export
+    # (the exporter groups "cluster.*" tracks under one process).
+    assert "cluster" in processes
+    assert "cluster.control" in threads
+    assert {"cluster.w0", "cluster.w1"} <= threads
 
 
 def test_fig3a_runs(capsys):

@@ -174,3 +174,50 @@ class TestServerMetrics:
 
     def test_to_dict_without_pool(self):
         assert "pool" not in ServerMetrics().to_dict()
+
+
+class TestTokenAndTenantMetrics:
+    """PR 9: TTFT/TPOT series + per-tenant counters (schema v2)."""
+
+    def test_schema_version_present(self):
+        from repro.serve import METRICS_SCHEMA_VERSION
+
+        payload = ServerMetrics().to_dict()
+        assert payload["schema_version"] == METRICS_SCHEMA_VERSION == 2
+
+    def test_token_latencies_aggregate(self):
+        m = ServerMetrics()
+        m.record_token_latencies("acme", ttft_s=0.2, tpot_s=0.01, tokens=8)
+        m.record_token_latencies("acme", ttft_s=0.4, tpot_s=0.03, tokens=4)
+        payload = m.to_dict()
+        assert payload["ttft_ms"]["count"] == 2
+        assert payload["ttft_ms"]["p99"] == 400.0
+        assert payload["tpot_ms"]["mean"] == 20.0
+        bucket = payload["per_tenant"]["acme"]
+        assert bucket["completed"] == 2
+        assert bucket["tokens"] == 12
+
+    def test_tenant_admission_counters(self):
+        m = ServerMetrics()
+        m.record_tenant_submit("a")
+        m.record_tenant_reject("a")
+        m.record_tenant_reject("b", slo=True)
+        m.record_tenant_failure("a")
+        m.record_tenant_preemption("b")
+        tenants = m.to_dict()["per_tenant"]
+        assert tenants["a"] == {
+            "submitted": 2, "rejected": 1, "rejected_slo": 0,
+            "completed": 0, "failed": 1, "preempted": 0, "tokens": 0,
+        }
+        assert tenants["b"]["rejected_slo"] == 1
+        assert tenants["b"]["preempted"] == 1
+
+    def test_empty_metrics_have_empty_tenant_map(self):
+        payload = ServerMetrics().to_dict()
+        assert payload["per_tenant"] == {}
+        assert payload["ttft_ms"]["count"] == 0
+
+    def test_payload_json_safe(self):
+        m = ServerMetrics()
+        m.record_token_latencies("t", 0.1, 0.02, 5)
+        json.dumps(m.to_dict())
